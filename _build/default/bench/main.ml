@@ -1,0 +1,163 @@
+(* Benchmark harness: regenerates every table/figure of the paper and
+   times each experiment plus the pipeline's core stages (Bechamel). *)
+
+open Bechamel
+open Toolkit
+
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+module RS = Wsn_workload.Scenarios.Random_scenario
+
+(* --- figure regeneration ------------------------------------------- *)
+
+let regenerate () =
+  print_endline "==========================================================";
+  print_endline " Figure/table regeneration (paper vs measured)";
+  print_endline "==========================================================";
+  Wsn_experiments.Scenario1.print ();
+  print_newline ();
+  Wsn_experiments.Scenario2.print ();
+  print_newline ();
+  Wsn_experiments.Fig3.print ();
+  print_newline ();
+  Wsn_experiments.Fig4.print ();
+  print_newline ();
+  Wsn_experiments.Hypothesis.print ();
+  print_newline ();
+  Wsn_experiments.Mac_validation.print ();
+  print_newline ();
+  Wsn_experiments.Routing_strategies.print ();
+  print_newline ();
+  Wsn_experiments.Ablations.Rts_cts.print ();
+  print_newline ();
+  Wsn_experiments.Ablations.Cs_range.print ();
+  print_newline ();
+  Wsn_experiments.Ablations.Quantisation.print ();
+  print_newline ();
+  Wsn_experiments.Ablations.Dominance.print ();
+  print_newline ();
+  Wsn_experiments.Joint_gap.print ();
+  print_newline ();
+  Wsn_experiments.Protocol_gap.print ();
+  print_newline ();
+  Wsn_experiments.Scalability.print ();
+  print_newline ();
+  let seeds = List.init 10 (fun i -> Int64.of_int (i + 1)) in
+  Printf.printf "# E3 aggregate: mean admitted flows (of 8) over %d seeds\n" (List.length seeds);
+  List.iter
+    (fun (m, mean) -> Printf.printf "%-14s %.2f\n" (Wsn_routing.Metrics.name m) mean)
+    (Wsn_experiments.Fig3.sweep_seeds ~seeds);
+  print_newline ();
+  Printf.printf "# E4 aggregate: mean |estimator error| (Mbps) pooled over %d seeds\n"
+    (List.length seeds);
+  List.iter
+    (fun (name, err) -> Printf.printf "%-18s %.3f\n" name err)
+    (Wsn_experiments.Fig4.sweep_seeds ~seeds)
+
+(* --- timed benchmarks: one per experiment, plus core stages --------- *)
+
+let experiment_tests =
+  [
+    Test.make ~name:"E1/scenario1-sweep"
+      (Staged.stage (fun () -> Wsn_experiments.Scenario1.rows ()));
+    Test.make ~name:"E2/scenario2-full"
+      (Staged.stage (fun () -> Wsn_experiments.Scenario2.compute ()));
+    Test.make ~name:"E3/fig3-admission"
+      (Staged.stage (fun () -> Wsn_experiments.Fig3.compute ()));
+    Test.make ~name:"E4/fig4-estimators"
+      (Staged.stage (fun () -> Wsn_experiments.Fig4.compute ()));
+    Test.make ~name:"E5/hypothesis-sweep"
+      (Staged.stage (fun () -> Wsn_experiments.Hypothesis.run ~instances:20 ~seed:11L ()));
+    Test.make ~name:"E6/mac-validation"
+      (Staged.stage (fun () -> Wsn_experiments.Mac_validation.compute ~duration_us:200_000 ()));
+    Test.make ~name:"E7/routing-strategies"
+      (Staged.stage (fun () -> Wsn_experiments.Routing_strategies.compute ()));
+    Test.make ~name:"E10/quantisation"
+      (Staged.stage (fun () -> Wsn_experiments.Ablations.Quantisation.run ()));
+    Test.make ~name:"E11/dominance-filter"
+      (Staged.stage (fun () -> Wsn_experiments.Ablations.Dominance.run ()));
+    Test.make ~name:"E12/joint-gap"
+      (Staged.stage (fun () -> Wsn_experiments.Joint_gap.compute ~k:4 ()));
+    Test.make ~name:"E13/protocol-gap"
+      (Staged.stage (fun () -> Wsn_experiments.Protocol_gap.run ~instances:5 ~seed:5L ()));
+    Test.make ~name:"stagecg/column-generation-chain12"
+      (Staged.stage (fun () ->
+           let topo = Wsn_net.Builders.chain ~spacing_m:55.0 12 in
+           let model = Wsn_conflict.Model.physical topo in
+           Wsn_availbw.Column_gen.path_capacity model
+             ~path:(Wsn_net.Builders.chain_hop_links topo)));
+  ]
+
+let stage_tests =
+  let scenario = RS.generate ~seed:30L () in
+  let topo = scenario.RS.topology in
+  let model = scenario.RS.model in
+  let run =
+    Wsn_routing.Admission.run topo model ~metric:Wsn_routing.Metrics.Average_e2e_delay
+      ~flows:scenario.RS.flows
+  in
+  let background = Wsn_routing.Admission.admitted_flows run in
+  let universe = Wsn_availbw.Flow.union_links background in
+  let some_path =
+    match background with
+    | f :: _ -> Wsn_availbw.Flow.links f
+    | [] -> failwith "bench: no admitted background"
+  in
+  [
+    Test.make ~name:"stage/independent-set-columns"
+      (Staged.stage (fun () -> Wsn_conflict.Independent.columns model ~universe));
+    Test.make ~name:"stage/eq6-lp-available"
+      (Staged.stage (fun () ->
+           Wsn_availbw.Path_bandwidth.available model ~background ~path:some_path));
+    Test.make ~name:"stage/chain-eq6-lp"
+      (Staged.stage (fun () -> Wsn_availbw.Path_bandwidth.path_capacity S2.model ~path:S2.path));
+    Test.make ~name:"stage/chain-eq9-upper"
+      (Staged.stage (fun () -> Wsn_availbw.Bounds.upper_eq9 S2.model ~background:[] ~path:S2.path));
+    Test.make ~name:"stage/rate-coupled-cliques"
+      (Staged.stage (fun () ->
+           Wsn_conflict.Clique.maximal_rate_coupled_cliques S2.model ~universe:S2.path));
+    Test.make ~name:"stage/dijkstra-route"
+      (Staged.stage (fun () ->
+           Wsn_routing.Router.find_path topo ~metric:Wsn_routing.Metrics.E2e_transmission_delay
+             ~idleness:(fun _ -> 1.0) ~source:0 ~target:29));
+    Test.make ~name:"stage/mac-sim-100ms"
+      (Staged.stage (fun () ->
+           Wsn_mac.Sim.run topo
+             ~flows:
+               (List.map
+                  (fun f ->
+                    { Wsn_mac.Sim.links = Wsn_availbw.Flow.links f;
+                      demand_mbps = f.Wsn_availbw.Flow.demand_mbps })
+                  background)
+             ~duration_us:100_000));
+  ]
+
+let benchmark () =
+  print_endline "==========================================================";
+  print_endline " Timing (Bechamel, OLS estimate per run)";
+  print_endline "==========================================================";
+  let tests = Test.make_grouped ~name:"wsn" (experiment_tests @ stage_tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Printf.printf "%-38s %10.2f s/run\n" name (ns /. 1e9)
+      else if ns >= 1e6 then Printf.printf "%-38s %10.2f ms/run\n" name (ns /. 1e6)
+      else if ns >= 1e3 then Printf.printf "%-38s %10.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "%-38s %10.2f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let () =
+  regenerate ();
+  print_newline ();
+  benchmark ()

@@ -1,0 +1,1 @@
+examples/chain_adaptation.ml: Array List Printf Wsn_availbw Wsn_conflict Wsn_radio Wsn_workload

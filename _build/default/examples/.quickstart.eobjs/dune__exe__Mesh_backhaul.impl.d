@@ -1,0 +1,1 @@
+examples/mesh_backhaul.ml: Array List Printf Wsn_availbw Wsn_mac Wsn_net Wsn_routing Wsn_sched Wsn_workload

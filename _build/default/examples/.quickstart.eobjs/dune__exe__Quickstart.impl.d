@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Wsn_availbw Wsn_conflict Wsn_graph Wsn_net Wsn_sched

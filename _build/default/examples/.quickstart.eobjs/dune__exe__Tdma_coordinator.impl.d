@@ -1,0 +1,1 @@
+examples/tdma_coordinator.ml: Array Float Format List Printf String Wsn_availbw Wsn_conflict Wsn_graph Wsn_net Wsn_radio Wsn_sched

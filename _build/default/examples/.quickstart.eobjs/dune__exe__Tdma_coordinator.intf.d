@@ -1,0 +1,1 @@
+examples/tdma_coordinator.mli:

@@ -1,0 +1,1 @@
+examples/video_surveillance.ml: Array List Printf Wsn_availbw Wsn_conflict Wsn_net Wsn_routing Wsn_sched

@@ -1,0 +1,1 @@
+lib/conflict/clique.mli: Model Wsn_radio

@@ -1,0 +1,1 @@
+lib/conflict/independent.ml: Array Hashtbl Int List Model Set Wsn_radio

@@ -1,0 +1,1 @@
+lib/conflict/independent.mli: Model Wsn_radio

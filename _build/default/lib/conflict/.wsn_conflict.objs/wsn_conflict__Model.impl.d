@@ -1,0 +1,1 @@
+lib/conflict/model.ml: Array Hashtbl List Wsn_graph Wsn_net Wsn_radio

@@ -1,0 +1,1 @@
+lib/conflict/model.mli: Wsn_net Wsn_radio

@@ -1,0 +1,1 @@
+lib/conflict/pricing.ml: Array Float List Model Wsn_radio

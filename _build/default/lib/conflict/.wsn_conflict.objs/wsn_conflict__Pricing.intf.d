@@ -1,0 +1,1 @@
+lib/conflict/pricing.mli: Model

@@ -1,0 +1,118 @@
+module Rate = Wsn_radio.Rate
+
+type column = { links : int list; rates : Rate.t list; mbps : float array }
+
+let default_max_sets = 200_000
+
+(* Enumerate independent sets by ordered extension: independence is
+   anti-monotone, so any independent set is reached by adding links in
+   ascending order through independent prefixes only. *)
+let enumerate_sets ?(max_sets = default_max_sets) model ~universe =
+  let universe = List.sort_uniq compare universe in
+  let live = List.filter (fun l -> Model.alone_best model l <> None) universe in
+  let count = ref 0 in
+  let results = ref [] in
+  let emit set =
+    incr count;
+    if !count > max_sets then failwith "Independent.enumerate_sets: too many independent sets";
+    results := set :: !results
+  in
+  let rec extend set candidates =
+    match candidates with
+    | [] -> ()
+    | l :: rest ->
+      (let candidate = set @ [ l ] in
+       if Model.independent model candidate then begin
+         emit candidate;
+         extend candidate rest
+       end);
+      extend set rest
+  in
+  extend [] live;
+  List.rev !results
+
+let maximal_sets ?max_sets model ~universe =
+  let sets = enumerate_sets ?max_sets model ~universe in
+  let module S = Set.Make (Int) in
+  let as_sets = List.map S.of_list sets in
+  List.filter_map
+    (fun s ->
+      let ss = S.of_list s in
+      let strictly_contained = List.exists (fun other -> S.subset ss other && not (S.equal ss other)) as_sets in
+      if strictly_contained then None else Some s)
+    sets
+
+let feasible_assignments model set =
+  let set = List.sort_uniq compare set in
+  let rec extend acc = function
+    | [] -> [ List.rev acc ]
+    | l :: rest ->
+      List.concat_map
+        (fun r ->
+          let acc' = (l, r) :: acc in
+          if Model.feasible model (List.rev acc') then extend acc' rest else [])
+        (Model.alone_rates model l)
+  in
+  match set with [] -> [] | _ -> extend [] set
+
+(* Rate indices: smaller is faster.  [a] dominates [b] when every rate
+   of [a] is at least as fast and one is strictly faster. *)
+let dominates_rates a b =
+  List.for_all2 (fun ra rb -> ra <= rb) a b && List.exists2 (fun ra rb -> ra < rb) a b
+
+let pareto_vectors model set =
+  let set = List.sort_uniq compare set in
+  match Model.max_vector model set with
+  | None -> []
+  | Some v when Model.has_unique_max model -> [ Array.to_list v ]
+  | Some _ ->
+    let assignments = feasible_assignments model set in
+    let vectors = List.map (List.map snd) assignments in
+    let vectors = List.sort_uniq compare vectors in
+    List.filter (fun v -> not (List.exists (fun u -> dominates_rates u v) vectors)) vectors
+
+let columns ?max_sets ?(filter_dominated = true) model ~universe =
+  let universe = List.sort_uniq compare universe in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) universe;
+  let n = List.length universe in
+  let tbl = Model.rates model in
+  let sets = enumerate_sets ?max_sets model ~universe in
+  let raw =
+    List.concat_map
+      (fun set ->
+        List.map
+          (fun rates ->
+            let mbps = Array.make n 0.0 in
+            List.iter2 (fun l r -> mbps.(Hashtbl.find index l) <- Rate.mbps tbl r) set rates;
+            { links = set; rates; mbps })
+          (pareto_vectors model set))
+      sets
+  in
+  (* Dedup exact duplicates, then filter strictly dominated vectors. *)
+  let raw =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun c ->
+        let key = Array.to_list c.mbps in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      raw
+  in
+  let dominated c =
+    List.exists
+      (fun other ->
+        other != c
+        && (let ge = ref true and gt = ref false in
+            Array.iteri
+              (fun i x ->
+                if other.mbps.(i) < x -. 1e-12 then ge := false
+                else if other.mbps.(i) > x +. 1e-12 then gt := true)
+              c.mbps;
+            !ge && !gt))
+      raw
+  in
+  if filter_dominated then List.filter (fun c -> not (dominated c)) raw else raw

@@ -1,0 +1,52 @@
+module Rate = Wsn_radio.Rate
+
+let max_weight_independent ?(eps = 1e-9) model ~weights ~universe =
+  let tbl = Model.rates model in
+  let mbps r = Rate.mbps tbl r in
+  (* Candidates: positive-weight live links, best-case value first. *)
+  let candidates =
+    List.filter_map
+      (fun l ->
+        if weights l <= eps then None
+        else
+          match Model.alone_best model l with
+          | None -> None
+          | Some best -> Some (l, weights l, weights l *. mbps best))
+      (List.sort_uniq compare universe)
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+    |> Array.of_list
+  in
+  let n = Array.length candidates in
+  if n = 0 then None
+  else begin
+    (* suffix_potential.(i) = best additional value collectable from
+       candidates i.. if they were all independent at top rate. *)
+    let suffix_potential = Array.make (n + 1) 0.0 in
+    for i = n - 1 downto 0 do
+      let _, _, potential = candidates.(i) in
+      suffix_potential.(i) <- suffix_potential.(i + 1) +. potential
+    done;
+    let best_value = ref 0.0 in
+    let best_assignment = ref [] in
+    (* [assignment] is reversed; [value] its current worth. *)
+    let rec branch i assignment value =
+      if value > !best_value +. eps then begin
+        best_value := value;
+        best_assignment := List.rev assignment
+      end;
+      if i < n && value +. suffix_potential.(i) > !best_value +. eps then begin
+        let l, w, _ = candidates.(i) in
+        (* Include link i at each alone rate (fastest first). *)
+        List.iter
+          (fun r ->
+            let extended = (l, r) :: assignment in
+            if Model.feasible model (List.rev extended) then
+              branch (i + 1) extended (value +. (w *. mbps r)))
+          (Model.alone_rates model l);
+        (* Or skip it. *)
+        branch (i + 1) assignment value
+      end
+    in
+    branch 0 [] 0.0;
+    if !best_assignment = [] then None else Some (!best_assignment, !best_value)
+  end

@@ -1,0 +1,24 @@
+(** Maximum-weight rate-coupled independent set (the pricing problem of
+    column generation).
+
+    Given non-negative link weights [w], find the independent set and
+    rate vector maximising [Σ_l w_l · mbps(r_l)].  Solved by branch and
+    bound: links are considered in decreasing order of their best-case
+    contribution, partial assignments are extended rate by rate, and a
+    branch is cut when even collecting every remaining link at its best
+    alone rate cannot beat the incumbent.  Exponential in the worst
+    case, but the weights of an LP master are sparse and interference
+    keeps feasible sets small, so in practice this runs far ahead of
+    full enumeration. *)
+
+val max_weight_independent :
+  ?eps:float ->
+  Model.t ->
+  weights:(int -> float) ->
+  universe:int list ->
+  (Model.assignment * float) option
+(** [max_weight_independent model ~weights ~universe] returns a best
+    assignment together with its value, or [None] when no link with
+    positive weight can transmit.  Links with weight at most [eps]
+    (default [1e-9]) are ignored — they cannot improve the objective
+    and only constrain the rest. *)

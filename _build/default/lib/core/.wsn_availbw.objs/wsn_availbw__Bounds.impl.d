@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Float Flow Hashtbl List Printf Wsn_conflict Wsn_lp Wsn_radio

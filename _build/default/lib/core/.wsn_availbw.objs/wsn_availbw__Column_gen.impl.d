@@ -1,0 +1,1 @@
+lib/core/column_gen.ml: Array Float Flow List Printf Wsn_conflict Wsn_lp Wsn_radio Wsn_sched

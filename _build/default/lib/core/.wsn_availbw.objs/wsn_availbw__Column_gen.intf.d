@@ -1,0 +1,1 @@
+lib/core/column_gen.mli: Flow Wsn_conflict Wsn_sched

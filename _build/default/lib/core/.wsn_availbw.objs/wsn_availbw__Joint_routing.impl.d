@@ -1,0 +1,1 @@
+lib/core/joint_routing.ml: Array Float Flow Hashtbl List Option Printf Wsn_conflict Wsn_graph Wsn_lp Wsn_net Wsn_sched

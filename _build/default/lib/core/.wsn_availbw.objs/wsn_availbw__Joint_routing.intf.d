@@ -1,0 +1,1 @@
+lib/core/joint_routing.mli: Flow Wsn_conflict Wsn_net Wsn_sched

@@ -1,0 +1,1 @@
+lib/core/path_bandwidth.ml: Array Float Flow Hashtbl List Printf Wsn_conflict Wsn_lp Wsn_sched

@@ -1,0 +1,1 @@
+lib/core/path_bandwidth.mli: Flow Wsn_conflict Wsn_sched

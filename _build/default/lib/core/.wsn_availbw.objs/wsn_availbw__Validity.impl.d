@@ -1,0 +1,1 @@
+lib/core/validity.ml: List Wsn_conflict Wsn_radio

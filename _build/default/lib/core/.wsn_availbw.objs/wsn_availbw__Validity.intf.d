@@ -1,0 +1,1 @@
+lib/core/validity.mli: Wsn_conflict Wsn_radio

@@ -1,0 +1,128 @@
+module Model = Wsn_conflict.Model
+module Pricing = Wsn_conflict.Pricing
+module Rate = Wsn_radio.Rate
+module Schedule = Wsn_sched.Schedule
+module Problem = Wsn_lp.Problem
+module Types = Wsn_lp.Types
+
+type result = {
+  bandwidth_mbps : float;
+  schedule : Schedule.t;
+  columns_generated : int;
+  iterations : int;
+}
+
+type column = { assignment : Model.assignment; mbps : (int * float) list }
+
+let big_m = 1e5
+
+let convergence_eps = 1e-7
+
+let column_of_assignment tbl assignment =
+  { assignment; mbps = List.map (fun (l, r) -> (l, Rate.mbps tbl r)) assignment }
+
+(* Solve the restricted master over the current column pool.  Returns
+   the solution plus the duals needed for pricing: [sigma] for the
+   total-share row and one weight per link (the negated Ge-row dual). *)
+let solve_master ~columns ~universe ~loads ~path =
+  let lp = Problem.create ~name:"cg-master" Types.Maximize in
+  let f = Problem.add_var lp ~obj:1.0 "f" in
+  let lambda =
+    List.mapi (fun i (_ : column) -> Problem.add_var lp (Printf.sprintf "lambda%d" i)) columns
+  in
+  let shortfall =
+    List.map (fun l -> (l, Problem.add_var lp ~obj:(-.big_m) (Printf.sprintf "s%d" l))) universe
+  in
+  (* Row 0: total share. *)
+  Problem.add_constraint lp ~name:"total-share" (List.map (fun v -> (v, 1.0)) lambda) Types.Le 1.0;
+  (* Rows 1..: per-link coverage with shortfall relaxation. *)
+  List.iter
+    (fun l ->
+      let supply =
+        List.filter_map
+          (fun (v, c) ->
+            match List.assoc_opt l c.mbps with Some m -> Some (v, m) | None -> None)
+          (List.combine lambda columns)
+      in
+      let f_term = if List.mem l path then [ (f, -1.0) ] else [] in
+      Problem.add_constraint lp
+        ~name:(Printf.sprintf "cover%d" l)
+        (((List.assoc l shortfall, 1.0) :: supply) @ f_term)
+        Types.Ge (List.assoc l loads))
+    universe;
+  match Problem.solve lp with
+  | Problem.Infeasible | Problem.Unbounded ->
+    failwith "Column_gen: master must be feasible and bounded"
+  | Problem.Solution s ->
+    let sigma = s.Problem.row_duals.(0) in
+    let weights =
+      List.mapi (fun i l -> (l, -.s.Problem.row_duals.(i + 1))) universe
+    in
+    let shares = List.map (fun v -> s.Problem.values v) lambda in
+    let total_shortfall =
+      List.fold_left (fun acc (_, v) -> acc +. s.Problem.values v) 0.0 shortfall
+    in
+    (s.Problem.values f, sigma, weights, shares, total_shortfall)
+
+let available ?(max_iterations = 1000) model ~background ~path =
+  if path = [] then invalid_arg "Column_gen: empty path";
+  if List.length (List.sort_uniq compare path) <> List.length path then
+    invalid_arg "Column_gen: repeated link in path";
+  let tbl = Model.rates model in
+  let universe = List.sort_uniq compare (Flow.union_links background @ path) in
+  let loads = List.map (fun l -> (l, Flow.load_on background l)) universe in
+  (* A demanded link with no rate at all: unschedulable (or a dead link
+     on the new path: zero bandwidth, handled by the LP shortfall). *)
+  let seed =
+    List.filter_map
+      (fun l ->
+        match Model.alone_best model l with
+        | Some r -> Some (column_of_assignment tbl [ (l, r) ])
+        | None -> None)
+      universe
+  in
+  let pool = ref seed in
+  let rec iterate k =
+    if k > max_iterations then failwith "Column_gen: did not converge";
+    let f, sigma, weights, shares, shortfall = solve_master ~columns:!pool ~universe ~loads ~path in
+    let improving =
+      match
+        Pricing.max_weight_independent model ~weights:(fun l -> List.assoc l weights) ~universe
+      with
+      | Some (assignment, value) when value > sigma +. convergence_eps ->
+        Some (column_of_assignment tbl assignment)
+      | Some _ | None -> None
+    in
+    match improving with
+    | Some column ->
+      pool := !pool @ [ column ];
+      iterate (k + 1)
+    | None ->
+      (* Converged: the master optimum is the true Equation-6 optimum. *)
+      if shortfall > 1e-6 then None
+      else begin
+        let slots =
+          List.map2
+            (fun (c : column) share ->
+              {
+                Schedule.links = List.map fst c.assignment;
+                rates = List.map snd c.assignment;
+                share = Float.max share 0.0;
+              })
+            !pool shares
+        in
+        Some
+          {
+            bandwidth_mbps = f;
+            schedule = Schedule.make slots;
+            columns_generated = List.length !pool;
+            iterations = k;
+          }
+      end
+  in
+  iterate 1
+
+let path_capacity ?max_iterations model ~path =
+  match available ?max_iterations model ~background:[] ~path with
+  | Some r -> r
+  | None -> failwith "Column_gen.path_capacity: no background cannot be infeasible"

@@ -1,0 +1,36 @@
+(** Column generation for the path-bandwidth LP (Equation 6 at scale).
+
+    {!Path_bandwidth} enumerates every independent set of the involved
+    links up front, which explodes on long paths or wide universes.
+    Column generation sidesteps enumeration: start from the singleton
+    (TDMA) columns, solve the restricted master, and let the LP duals
+    drive a {!Wsn_conflict.Pricing} search for an independent set whose
+    column would improve the master; repeat until none exists.  The
+    result is the {e same} optimum (both solve the same LP), reached
+    after generating only the columns the optimum actually needs.
+
+    The master is made always-feasible with penalised shortfall
+    variables (big-M); if any shortfall survives at convergence the
+    background demands are genuinely unschedulable. *)
+
+type result = {
+  bandwidth_mbps : float;  (** The Equation-6 optimum. *)
+  schedule : Wsn_sched.Schedule.t;  (** Witness schedule. *)
+  columns_generated : int;  (** Columns priced in, including the singleton seed. *)
+  iterations : int;  (** Master solves until convergence. *)
+}
+
+val available :
+  ?max_iterations:int ->
+  Wsn_conflict.Model.t ->
+  background:Flow.t list ->
+  path:int list ->
+  result option
+(** Column-generation counterpart of {!Path_bandwidth.available}; same
+    contract ([None] = background infeasible).
+    @raise Invalid_argument on an empty or repeated-link path.
+    @raise Failure if [max_iterations] (default 1000) master solves do
+    not converge (indicates a pricing bug, not a hard instance). *)
+
+val path_capacity : ?max_iterations:int -> Wsn_conflict.Model.t -> path:int list -> result
+(** No-background convenience, like {!Path_bandwidth.path_capacity}. *)

@@ -1,0 +1,17 @@
+type t = { path : int list; demand_mbps : float }
+
+let make ~path ~demand_mbps =
+  if path = [] then invalid_arg "Flow.make: empty path";
+  if List.length (List.sort_uniq compare path) <> List.length path then
+    invalid_arg "Flow.make: repeated link in path";
+  if demand_mbps < 0.0 then invalid_arg "Flow.make: negative demand";
+  { path; demand_mbps }
+
+let links f = f.path
+
+let uses f l = List.mem l f.path
+
+let load_on flows l =
+  List.fold_left (fun acc f -> if uses f l then acc +. f.demand_mbps else acc) 0.0 flows
+
+let union_links flows = List.sort_uniq compare (List.concat_map links flows)

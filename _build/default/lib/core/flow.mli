@@ -1,0 +1,23 @@
+(** End-to-end flows over link paths. *)
+
+type t = {
+  path : int list;  (** Link identifiers in travel order; no repeats. *)
+  demand_mbps : float;  (** Required end-to-end throughput. *)
+}
+
+val make : path:int list -> demand_mbps:float -> t
+(** [make ~path ~demand_mbps] validates the flow.
+    @raise Invalid_argument on an empty path, repeated links or a
+    negative demand. *)
+
+val links : t -> int list
+(** The flow's links (in order). *)
+
+val uses : t -> int -> bool
+(** [uses f l] is whether link [l] carries the flow. *)
+
+val load_on : t list -> int -> float
+(** [load_on flows l] is the summed demand of all flows crossing [l]. *)
+
+val union_links : t list -> int list
+(** Ascending, deduplicated union of all flows' links. *)

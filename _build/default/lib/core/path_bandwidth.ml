@@ -1,0 +1,140 @@
+module Model = Wsn_conflict.Model
+module Independent = Wsn_conflict.Independent
+module Schedule = Wsn_sched.Schedule
+module Problem = Wsn_lp.Problem
+module Types = Wsn_lp.Types
+
+type result = {
+  bandwidth_mbps : float;
+  schedule : Schedule.t;
+  n_columns : int;
+}
+
+let validate_path path =
+  if path = [] then invalid_arg "Path_bandwidth: empty path";
+  if List.length (List.sort_uniq compare path) <> List.length path then
+    invalid_arg "Path_bandwidth: repeated link in path"
+
+let schedule_of_columns columns shares =
+  Schedule.make
+    (List.map2
+       (fun (c : Independent.column) share ->
+         (* The simplex answers with float noise; genuine negatives are a
+            solver bug, noise is clamped away. *)
+         if share < -1e-6 then failwith "Path_bandwidth: negative time share from LP";
+         { Schedule.links = c.links; rates = c.rates; share = Float.max share 0.0 })
+       columns shares)
+
+(* Shared LP body: columns over [universe], coverage rows per link.
+   [new_path] adds the f variable; when absent the objective minimises
+   total airtime instead (background scheduling). *)
+let solve ?max_sets model ~background ~new_path =
+  let universe =
+    List.sort_uniq compare
+      (Flow.union_links background @ (match new_path with Some p -> p | None -> []))
+  in
+  match universe with
+  | [] -> invalid_arg "Path_bandwidth: nothing to schedule"
+  | _ ->
+    let columns = Independent.columns ?max_sets model ~universe in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i l -> Hashtbl.replace index l i) universe;
+    let objective = match new_path with Some _ -> Types.Maximize | None -> Types.Minimize in
+    let lp = Problem.create ~name:"path-bandwidth" objective in
+    let airtime_cost = match new_path with Some _ -> 0.0 | None -> 1.0 in
+    let lambda =
+      List.mapi
+        (fun i (_ : Independent.column) ->
+          Problem.add_var lp ~obj:airtime_cost (Printf.sprintf "lambda%d" i))
+        columns
+    in
+    let f = match new_path with
+      | Some _ -> Some (Problem.add_var lp ~obj:1.0 "f")
+      | None -> None
+    in
+    Problem.add_constraint lp ~name:"total-share" (List.map (fun v -> (v, 1.0)) lambda) Types.Le 1.0;
+    List.iter
+      (fun link ->
+        let i = Hashtbl.find index link in
+        let supply =
+          List.map2 (fun v (c : Independent.column) -> (v, c.mbps.(i))) lambda columns
+        in
+        let demand_terms =
+          match (f, new_path) with
+          | Some fv, Some p when List.mem link p -> [ (fv, -1.0) ]
+          | _ -> []
+        in
+        let load = Flow.load_on background link in
+        Problem.add_constraint lp
+          ~name:(Printf.sprintf "cover-link%d" link)
+          (supply @ demand_terms) Types.Ge load)
+      universe;
+    (match Problem.solve lp with
+     | Problem.Infeasible -> None
+     | Problem.Unbounded -> failwith "Path_bandwidth: LP unbounded (model bug)"
+     | Problem.Solution s ->
+       let shares = List.map (fun v -> s.Problem.values v) lambda in
+       let bandwidth = match f with Some fv -> s.Problem.values fv | None -> 0.0 in
+       Some (bandwidth, schedule_of_columns columns shares, List.length columns))
+
+let available ?max_sets model ~background ~path =
+  validate_path path;
+  match solve ?max_sets model ~background ~new_path:(Some path) with
+  | None -> None
+  | Some (bw, schedule, n) -> Some { bandwidth_mbps = bw; schedule; n_columns = n }
+
+let path_capacity ?max_sets model ~path =
+  match available ?max_sets model ~background:[] ~path with
+  | Some r -> r
+  | None -> failwith "Path_bandwidth.path_capacity: empty background cannot be infeasible"
+
+let background_schedule ?max_sets model flows =
+  match flows with
+  | [] -> Some Schedule.empty
+  | _ -> (
+    match solve ?max_sets model ~background:flows ~new_path:None with
+    | None -> None
+    | Some (_, schedule, _) -> Some schedule)
+
+let feasible ?max_sets model flows = background_schedule ?max_sets model flows <> None
+
+type multi_result = {
+  scale : float;
+  multi_schedule : Schedule.t;
+}
+
+let available_multi ?max_sets model ~background ~requests =
+  if requests = [] then invalid_arg "Path_bandwidth.available_multi: no requests";
+  List.iter
+    (fun r ->
+      if r.Flow.demand_mbps <= 0.0 then
+        invalid_arg "Path_bandwidth.available_multi: request with non-positive demand")
+    requests;
+  let universe =
+    List.sort_uniq compare (Flow.union_links background @ Flow.union_links requests)
+  in
+  let columns = Independent.columns ?max_sets model ~universe in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) universe;
+  let lp = Problem.create ~name:"multi-flow" Types.Maximize in
+  let alpha = Problem.add_var lp ~obj:1.0 "alpha" in
+  let lambda =
+    List.mapi (fun i (_ : Independent.column) -> Problem.add_var lp (Printf.sprintf "lambda%d" i)) columns
+  in
+  Problem.add_constraint lp ~name:"total-share" (List.map (fun v -> (v, 1.0)) lambda) Types.Le 1.0;
+  List.iter
+    (fun link ->
+      let i = Hashtbl.find index link in
+      let supply = List.map2 (fun v (c : Independent.column) -> (v, c.mbps.(i))) lambda columns in
+      let requested = Flow.load_on requests link in
+      let terms = if requested > 0.0 then (alpha, -.requested) :: supply else supply in
+      Problem.add_constraint lp
+        ~name:(Printf.sprintf "cover-link%d" link)
+        terms Types.Ge (Flow.load_on background link))
+    universe;
+  match Problem.solve lp with
+  | Problem.Infeasible -> None
+  | Problem.Unbounded -> failwith "Path_bandwidth.available_multi: LP unbounded (model bug)"
+  | Problem.Solution s ->
+    let shares = List.map (fun v -> s.Problem.values v) lambda in
+    Some { scale = s.Problem.values alpha; multi_schedule = schedule_of_columns columns shares }

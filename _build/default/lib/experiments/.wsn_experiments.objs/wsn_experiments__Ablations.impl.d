@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Float List Printf Wsn_availbw Wsn_conflict Wsn_mac Wsn_net Wsn_prng Wsn_radio Wsn_routing Wsn_sched Wsn_workload

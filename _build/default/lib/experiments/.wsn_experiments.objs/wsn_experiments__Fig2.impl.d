@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Buffer List Printf Wsn_graph Wsn_net Wsn_routing Wsn_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Hashtbl List Option Printf Wsn_net Wsn_routing Wsn_workload

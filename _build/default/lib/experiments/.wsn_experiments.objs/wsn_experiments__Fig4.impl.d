@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Float List Printf Wsn_availbw Wsn_conflict Wsn_net Wsn_routing Wsn_sched Wsn_workload

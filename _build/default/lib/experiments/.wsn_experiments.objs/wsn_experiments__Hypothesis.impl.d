@@ -1,0 +1,1 @@
+lib/experiments/hypothesis.ml: Float Fun Hashtbl List Printf Wsn_availbw Wsn_conflict Wsn_prng Wsn_radio

@@ -1,0 +1,1 @@
+lib/experiments/hypothesis.mli: Wsn_conflict Wsn_prng

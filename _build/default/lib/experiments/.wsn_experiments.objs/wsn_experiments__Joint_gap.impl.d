@@ -1,0 +1,1 @@
+lib/experiments/joint_gap.ml: Float List Printf Wsn_availbw Wsn_routing Wsn_workload

@@ -1,0 +1,1 @@
+lib/experiments/joint_gap.mli:

@@ -1,0 +1,1 @@
+lib/experiments/mac_validation.ml: Array List Printf Wsn_availbw Wsn_mac Wsn_net Wsn_routing Wsn_sched Wsn_workload

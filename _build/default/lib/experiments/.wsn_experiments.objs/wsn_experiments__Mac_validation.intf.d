@@ -1,0 +1,1 @@
+lib/experiments/mac_validation.mli:

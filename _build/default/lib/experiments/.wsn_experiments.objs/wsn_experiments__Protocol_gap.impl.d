@@ -1,0 +1,1 @@
+lib/experiments/protocol_gap.ml: Float Fun Int64 List Printf Wsn_availbw Wsn_conflict Wsn_net Wsn_prng Wsn_routing

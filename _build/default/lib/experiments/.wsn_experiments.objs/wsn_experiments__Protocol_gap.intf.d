@@ -1,0 +1,1 @@
+lib/experiments/protocol_gap.mli:

@@ -1,0 +1,1 @@
+lib/experiments/routing_strategies.ml: Hashtbl List Option Printf Wsn_routing Wsn_workload

@@ -1,0 +1,1 @@
+lib/experiments/routing_strategies.mli: Wsn_conflict Wsn_net Wsn_routing

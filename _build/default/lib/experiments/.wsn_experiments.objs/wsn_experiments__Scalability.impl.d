@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Float List Option Printf Unix Wsn_availbw Wsn_conflict Wsn_net

@@ -1,0 +1,1 @@
+lib/experiments/scenario1.ml: List Printf Wsn_availbw Wsn_workload

@@ -1,0 +1,1 @@
+lib/experiments/scenario2.ml: Format List Printf Wsn_availbw Wsn_sched Wsn_workload

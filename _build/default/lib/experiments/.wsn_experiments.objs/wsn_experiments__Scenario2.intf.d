@@ -1,0 +1,1 @@
+lib/experiments/scenario2.mli: Wsn_sched

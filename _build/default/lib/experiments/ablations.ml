@@ -1,0 +1,212 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Topology = Wsn_net.Topology
+module Generator = Wsn_net.Generator
+module Phy = Wsn_radio.Phy
+module Rate = Wsn_radio.Rate
+module Model = Wsn_conflict.Model
+module Independent = Wsn_conflict.Independent
+module Idleness = Wsn_sched.Idleness
+module Schedule = Wsn_sched.Schedule
+module Quantize = Wsn_sched.Quantize
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Bounds = Wsn_availbw.Bounds
+module Sim = Wsn_mac.Sim
+module Dcf_config = Wsn_mac.Dcf_config
+module Streams = Wsn_prng.Streams
+
+let default_seed = 30L
+
+(* Background traffic of the default scenario: the flows average-e2eD
+   admits (shared by E8/E9/E11). *)
+let admitted_background scenario =
+  let run =
+    Admission.run scenario.RS.topology scenario.RS.model ~metric:Metrics.Average_e2e_delay
+      ~flows:scenario.RS.flows
+  in
+  Admission.admitted_flows run
+
+module Rts_cts = struct
+  type row = {
+    label : string;
+    total_delivered_mbps : float;
+    frames_dropped : int;
+    collisions : int;
+    mean_latency_us : float;  (* over flows that delivered anything *)
+  }
+
+  let run ?(seed = default_seed) ?(duration_us = 2_000_000) () =
+    let scenario = RS.generate ~seed () in
+    let background = admitted_background scenario in
+    let specs =
+      List.map (fun f -> { Sim.links = Flow.links f; demand_mbps = f.Flow.demand_mbps }) background
+    in
+    List.map
+      (fun (label, config) ->
+        let stats = Sim.run ~config scenario.RS.topology ~flows:specs ~duration_us in
+        let latencies =
+          Array.to_list stats.Sim.flows
+          |> List.filter_map (fun (f : Sim.flow_stats) ->
+                 if Float.is_nan f.Sim.mean_latency_us then None else Some f.Sim.mean_latency_us)
+        in
+        {
+          label;
+          total_delivered_mbps =
+            Array.fold_left (fun acc f -> acc +. f.Sim.delivered_mbps) 0.0 stats.Sim.flows;
+          frames_dropped =
+            Array.fold_left (fun acc f -> acc + f.Sim.frames_dropped) 0 stats.Sim.flows;
+          collisions = stats.Sim.collisions;
+          mean_latency_us =
+            (match latencies with
+             | [] -> nan
+             | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+        })
+      [
+        ("basic-csma", Dcf_config.default);
+        ("rts-cts", Dcf_config.with_rts_cts Dcf_config.default);
+      ]
+
+  let print ?seed () =
+    Printf.printf "# E8: RTS/CTS vs hidden terminals (background of E3/E6)\n";
+    Printf.printf "%-12s %14s %10s %10s %14s\n" "mac" "goodput(Mbps)" "dropped" "corrupted"
+      "mean-lat(us)";
+    List.iter
+      (fun r ->
+        Printf.printf "%-12s %14.2f %10d %10d %14.0f\n" r.label r.total_delivered_mbps
+          r.frames_dropped r.collisions r.mean_latency_us)
+      (run ?seed ())
+end
+
+module Cs_range = struct
+  type row = {
+    factor : float;
+    admitted : int;
+    mean_link_idleness : float;
+  }
+
+  (* Re-derive the seed's topology under a PHY with a different
+     carrier-sense factor.  The placement streams match
+     Random_scenario.generate, and connectivity only depends on the
+     slowest rate's range, so the node placement is identical. *)
+  let scenario_with_factor seed factor =
+    let streams = Streams.create seed in
+    let phy = Phy.create ~cs_range_factor:factor Rate.dot11a in
+    let topology =
+      Generator.connected_topology ~phy (Streams.stream streams "topology") Generator.paper_config
+    in
+    let pairs =
+      Generator.random_pairs (Streams.stream streams "flows")
+        ~n_nodes:Generator.paper_config.Generator.n_nodes ~count:8
+    in
+    { RS.topology; model = Model.physical topology; flows = List.map (fun (s, d) -> (s, d, 2.0)) pairs }
+
+  let run ?(seed = default_seed) ?(factors = [ 1.0; 1.2; 1.4; 1.7; 2.0 ]) () =
+    List.map
+      (fun factor ->
+        let scenario = scenario_with_factor seed factor in
+        let background = admitted_background scenario in
+        let schedule =
+          match Path_bandwidth.background_schedule scenario.RS.model background with
+          | Some s -> s
+          | None -> Schedule.empty
+        in
+        let links = Flow.union_links background in
+        let mean_link_idleness =
+          match links with
+          | [] -> 1.0
+          | _ ->
+            List.fold_left
+              (fun acc l -> acc +. Idleness.link_idleness scenario.RS.topology schedule l)
+              0.0 links
+            /. float_of_int (List.length links)
+        in
+        { factor; admitted = List.length background; mean_link_idleness })
+      factors
+
+  let print ?seed () =
+    Printf.printf "# E9: carrier-sense range sensitivity (average-e2eD admission)\n";
+    Printf.printf "%8s %10s %16s\n" "factor" "admitted" "mean-idleness";
+    List.iter
+      (fun r -> Printf.printf "%8.1f %10d %16.3f\n" r.factor r.admitted r.mean_link_idleness)
+      (run ?seed ())
+end
+
+module Quantisation = struct
+  type row = {
+    frame_slots : int;
+    throughput_mbps : float;
+    loss_percent : float;
+  }
+
+  let run ?(frames = [ 4; 5; 8; 10; 20; 50; 100 ]) () =
+    let optimal = Path_bandwidth.path_capacity S2.model ~path:S2.path in
+    let fractional = optimal.Path_bandwidth.bandwidth_mbps in
+    let table = Model.rates S2.model in
+    List.map
+      (fun n ->
+        let q = Quantize.tdma optimal.Path_bandwidth.schedule ~slots:n in
+        let worst =
+          List.fold_left (fun acc l -> Float.min acc (Schedule.throughput table q l)) infinity
+            S2.path
+        in
+        {
+          frame_slots = n;
+          throughput_mbps = worst;
+          loss_percent = 100.0 *. (1.0 -. (worst /. fractional));
+        })
+      frames
+
+  let print () =
+    Printf.printf "# E10: TDMA quantisation of the chain's optimal schedule (fractional: 16.2)\n";
+    Printf.printf "%8s %16s %10s\n" "slots" "worst-link-Mbps" "loss-%";
+    List.iter
+      (fun r -> Printf.printf "%8d %16.2f %10.1f\n" r.frame_slots r.throughput_mbps r.loss_percent)
+      (run ())
+end
+
+module Dominance = struct
+  type row = {
+    label : string;
+    n_columns : int;
+    optimum_mbps : float;
+  }
+
+  let run ?(seed = default_seed) () =
+    let scenario = RS.generate ~seed () in
+    let background = admitted_background scenario in
+    let path =
+      match background with
+      | f :: _ -> Flow.links f
+      | [] -> failwith "Ablations.Dominance: no admitted background"
+    in
+    let background = List.tl background in
+    let universe = List.sort_uniq compare (Flow.union_links background @ path) in
+    let filtered = Independent.columns scenario.RS.model ~universe in
+    let unfiltered = Independent.columns ~filter_dominated:false scenario.RS.model ~universe in
+    let filtered_opt =
+      match Path_bandwidth.available scenario.RS.model ~background ~path with
+      | Some r -> r.Path_bandwidth.bandwidth_mbps
+      | None -> nan
+    in
+    let unfiltered_opt =
+      match
+        Bounds.lower_bound_restricted ~keep:(fun _ -> true) scenario.RS.model ~background ~path
+      with
+      | Some v -> v
+      | None -> nan
+    in
+    [
+      { label = "filtered"; n_columns = List.length filtered; optimum_mbps = filtered_opt };
+      { label = "unfiltered"; n_columns = List.length unfiltered; optimum_mbps = unfiltered_opt };
+    ]
+
+  let print ?seed () =
+    Printf.printf "# E11: dominance filtering of independent-set columns (lossless, smaller LP)\n";
+    Printf.printf "%-12s %10s %14s\n" "columns" "count" "optimum(Mbps)";
+    List.iter
+      (fun r -> Printf.printf "%-12s %10d %14.3f\n" r.label r.n_columns r.optimum_mbps)
+      (run ?seed ())
+end

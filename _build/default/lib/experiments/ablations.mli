@@ -1,0 +1,72 @@
+(** Ablation experiments (E8–E11) for the design choices DESIGN.md
+    calls out.  None of these appear in the paper; they quantify the
+    knobs the reproduction had to fix. *)
+
+(** {1 E8 — RTS/CTS vs hidden terminals} *)
+
+module Rts_cts : sig
+  type row = {
+    label : string;  (** ["basic-csma"] or ["rts-cts"]. *)
+    total_delivered_mbps : float;  (** Summed end-to-end goodput of the background. *)
+    frames_dropped : int;
+    collisions : int;
+    mean_latency_us : float;  (** Mean end-to-end frame latency over delivering flows; [nan] if none. *)
+  }
+
+  val run : ?seed:int64 -> ?duration_us:int -> unit -> row list
+  (** Replay E6's background traffic (flows admitted by average-e2eD)
+      through the CSMA/CA simulator with the handshake off and on.
+      Expectation: RTS/CTS trades a little airtime overhead for far
+      fewer hidden-terminal losses. *)
+
+  val print : ?seed:int64 -> unit -> unit
+end
+
+(** {1 E9 — carrier-sense range sensitivity} *)
+
+module Cs_range : sig
+  type row = {
+    factor : float;  (** [cs_range_factor] of the PHY. *)
+    admitted : int;  (** Flows admitted under average-e2eD routing. *)
+    mean_link_idleness : float;  (** Mean measured idleness over the admitted background's links. *)
+  }
+
+  val run : ?seed:int64 -> ?factors:float list -> unit -> row list
+  (** Re-run the Fig. 3 admission with the PHY's carrier-sense range
+      scaled by each factor.  A larger range makes nodes hear more
+      traffic: idleness drops, average-e2eD becomes more conservative. *)
+
+  val print : ?seed:int64 -> unit -> unit
+end
+
+(** {1 E10 — TDMA quantisation loss} *)
+
+module Quantisation : sig
+  type row = {
+    frame_slots : int;
+    throughput_mbps : float;  (** Worst per-link throughput of the quantised chain schedule. *)
+    loss_percent : float;  (** Loss against the fractional 16.2 optimum. *)
+  }
+
+  val run : ?frames:int list -> unit -> row list
+  (** Quantise Scenario II's optimal schedule into frames of the given
+      sizes (default 4, 5, 8, 10, 20, 50, 100). *)
+
+  val print : unit -> unit
+end
+
+(** {1 E11 — dominance filtering of LP columns} *)
+
+module Dominance : sig
+  type row = {
+    label : string;  (** ["filtered"] or ["unfiltered"]. *)
+    n_columns : int;
+    optimum_mbps : float;  (** Both must agree — the filter is lossless. *)
+  }
+
+  val run : ?seed:int64 -> unit -> row list
+  (** Build the Equation-6 LP for a path on the random topology with
+      and without dominance filtering of independent-set columns. *)
+
+  val print : ?seed:int64 -> unit -> unit
+end

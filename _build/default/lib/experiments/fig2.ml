@@ -1,0 +1,55 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Topology = Wsn_net.Topology
+module Point = Wsn_net.Point
+module Digraph = Wsn_graph.Digraph
+
+let path_links run =
+  List.concat_map
+    (fun (s : Admission.step) -> match s.Admission.path with Some p -> p | None -> [])
+    run.Admission.steps
+
+let dot ?(seed = 30L) () =
+  let scenario = RS.generate ~seed () in
+  let topo = scenario.RS.topology in
+  let run metric = Admission.run topo scenario.RS.model ~metric ~flows:scenario.RS.flows in
+  let avg_links = List.sort_uniq compare (path_links (run Metrics.Average_e2e_delay)) in
+  let e2etd_links = List.sort_uniq compare (path_links (run Metrics.E2e_transmission_delay)) in
+  let e2etd_only = List.filter (fun l -> not (List.mem l avg_links)) e2etd_links in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph fig2 {\n";
+  pr "  // render with: neato -n2 -Tpng fig2.dot -o fig2.png\n";
+  pr "  node [shape=circle, width=0.25, fixedsize=true, fontsize=8];\n";
+  for v = 0 to Topology.n_nodes topo - 1 do
+    let p = Topology.position topo v in
+    pr "  n%d [pos=\"%.1f,%.1f!\"];\n" v (p.Point.x /. 10.0) (p.Point.y /. 10.0)
+  done;
+  (* Radio links as light gray background (one per unordered pair). *)
+  List.iter
+    (fun e ->
+      if e.Digraph.src < e.Digraph.dst then
+        pr "  n%d -> n%d [dir=none, color=gray85];\n" e.Digraph.src e.Digraph.dst)
+    (Topology.links topo);
+  let emit style l =
+    let e = Topology.link topo l in
+    pr "  n%d -> n%d [%s];\n" e.Digraph.src e.Digraph.dst style
+  in
+  List.iter (emit "color=black, penwidth=2.0") avg_links;
+  List.iter (emit "color=blue, style=dashed, penwidth=1.5") e2etd_only;
+  (* Mark sources and destinations. *)
+  List.iteri
+    (fun i (s, d, _) ->
+      pr "  n%d [label=\"S%d\", style=filled, fillcolor=palegreen];\n" s (i + 1);
+      pr "  n%d [label=\"D%d\", style=filled, fillcolor=lightblue];\n" d (i + 1))
+    scenario.RS.flows;
+  pr "}\n";
+  Buffer.contents buf
+
+let print ?seed () = print_string (dot ?seed ())
+
+let write ?seed ~path () =
+  let oc = open_out path in
+  output_string oc (dot ?seed ());
+  close_out oc

@@ -1,0 +1,18 @@
+(** Experiment E0 — Fig. 2: the topology-and-paths picture itself.
+
+    The paper's Fig. 2 draws the random topology with the paths found
+    by average-e2eD (solid arrows) and the links where e2eTD differs
+    (dotted arrows).  This module renders our instance of the scenario
+    as Graphviz DOT with fixed node positions
+    (render with [neato -n2 -Tpng fig2.dot]). *)
+
+val dot : ?seed:int64 -> unit -> string
+(** The DOT source: nodes at their metre coordinates (scaled 1:10),
+    light gray edges for radio links, solid edges for the average-e2eD
+    paths, dashed for links only e2eTD uses. *)
+
+val print : ?seed:int64 -> unit -> unit
+(** Write the DOT source to stdout. *)
+
+val write : ?seed:int64 -> path:string -> unit -> unit
+(** Write the DOT source to a file. *)

@@ -1,0 +1,63 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+
+type t = {
+  seed : int64;
+  scenario : RS.t;
+  runs : Admission.run list;
+}
+
+let default_seed = 30L
+
+let compute ?(seed = default_seed) () =
+  let scenario = RS.generate ~seed () in
+  let runs =
+    List.map
+      (fun metric ->
+        Admission.run scenario.RS.topology scenario.RS.model ~metric ~flows:scenario.RS.flows)
+      Metrics.all
+  in
+  { seed; scenario; runs }
+
+let admitted_count run =
+  List.length (List.filter (fun s -> s.Admission.admitted) run.Admission.steps)
+
+let sweep_seeds ~seeds =
+  let totals = Hashtbl.create 3 in
+  List.iter
+    (fun seed ->
+      let t = compute ~seed () in
+      List.iter
+        (fun run ->
+          let m = run.Admission.label in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt totals m) in
+          Hashtbl.replace totals m (prev + admitted_count run))
+        t.runs)
+    seeds;
+  let n = float_of_int (List.length seeds) in
+  List.map
+    (fun m ->
+      ( m,
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt totals (Metrics.name m))) /. n ))
+    Metrics.all
+
+let print ?seed () =
+  let t = compute ?seed () in
+  Printf.printf "# E3 (Fig. 3): available bandwidth of each flow's path, per routing metric\n";
+  Printf.printf "# seed=%Ld  topology: %d nodes, %d links\n" t.seed
+    (Wsn_net.Topology.n_nodes t.scenario.RS.topology)
+    (Wsn_net.Topology.n_links t.scenario.RS.topology);
+  List.iter
+    (fun run ->
+      Printf.printf "%-14s" run.Admission.label;
+      List.iter
+        (fun (s : Admission.step) ->
+          Printf.printf " f%d=%5.2f%s" s.Admission.index s.Admission.available_mbps
+            (if s.Admission.admitted then "" else "*"))
+        run.Admission.steps;
+      (match run.Admission.first_failure with
+       | Some i -> Printf.printf "  (first failure: flow %d)" i
+       | None -> Printf.printf "  (all admitted)");
+      print_newline ())
+    t.runs

@@ -1,0 +1,28 @@
+(** Experiment E3 — Fig. 2 and Fig. 3: QoS routing metrics compared on
+    the random 30-node topology.
+
+    Eight 2 Mbit/s flows join one by one; each routing metric gets its
+    own admission history.  The figure's series is, per metric, the LP
+    available bandwidth of every flow's chosen path; the headline shape
+    is which flow fails first (paper: hop count at the 3rd flow, e2eTD
+    at the 5th, average-e2eD at the 8th). *)
+
+type t = {
+  seed : int64;
+  scenario : Wsn_workload.Scenarios.Random_scenario.t;
+  runs : Wsn_routing.Admission.run list;  (** One per metric, in {!Wsn_routing.Metrics.all} order. *)
+}
+
+val compute : ?seed:int64 -> unit -> t
+(** Run admission for all three metrics (default seed 30). *)
+
+val admitted_count : Wsn_routing.Admission.run -> int
+(** Flows admitted in a run. *)
+
+val sweep_seeds : seeds:int64 list -> (Wsn_routing.Metrics.t * float) list
+(** Mean number of admitted flows per metric across seeds — the
+    aggregate form of the paper's single-topology claim that
+    average-e2eD admits the most flows. *)
+
+val print : ?seed:int64 -> unit -> unit
+(** Print the per-flow series and first failures to stdout. *)

@@ -1,0 +1,133 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Router = Wsn_routing.Router
+module Topology = Wsn_net.Topology
+module Idleness = Wsn_sched.Idleness
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Estimators = Wsn_availbw.Estimators
+module Clique = Wsn_conflict.Clique
+
+type row = {
+  flow_index : int;
+  truth_mbps : float;
+  estimates : Estimators.all;
+}
+
+type t = {
+  seed : int64;
+  rows : row list;
+}
+
+let default_seed = 30L
+
+(* Local interference cliques of [path] (link ids, alone rates) as index
+   windows into the path. *)
+let local_clique_indices model topo path =
+  let rate_of l = Topology.alone_rate topo l in
+  let cliques = Clique.local_cliques model ~path_links:path ~rate_of in
+  let index_of l =
+    let rec find i = function
+      | [] -> invalid_arg "Fig4: clique link not on path"
+      | l' :: rest -> if l' = l then i else find (i + 1) rest
+    in
+    find 0 path
+  in
+  List.map (List.map index_of) cliques
+
+let observe topo schedule path =
+  Array.of_list
+    (List.map
+       (fun l ->
+         {
+           Estimators.rate_mbps = Topology.alone_mbps topo l;
+           idleness = Idleness.link_idleness topo schedule l;
+         })
+       path)
+
+let compute ?(seed = default_seed) ?(metric = Metrics.Average_e2e_delay) () =
+  let scenario = RS.generate ~seed () in
+  let topo = scenario.RS.topology in
+  let model = scenario.RS.model in
+  let run = Admission.run topo model ~metric ~flows:scenario.RS.flows in
+  let rows = ref [] in
+  let background = ref [] in
+  List.iter
+    (fun (step : Admission.step) ->
+      (match step.Admission.path with
+       | None -> ()
+       | Some path ->
+         let schedule =
+           match Path_bandwidth.background_schedule model !background with
+           | Some s -> s
+           | None -> assert false
+         in
+         let obs = observe topo schedule path in
+         let cliques = local_clique_indices model topo path in
+         let estimates = Estimators.all ~cliques obs in
+         rows :=
+           { flow_index = step.Admission.index; truth_mbps = step.Admission.available_mbps; estimates }
+           :: !rows);
+      if step.Admission.admitted then
+        match step.Admission.path with
+        | Some p ->
+          background := Flow.make ~path:p ~demand_mbps:step.Admission.demand_mbps :: !background
+        | None -> ())
+    run.Admission.steps;
+  { seed; rows = List.rev !rows }
+
+let estimator_names =
+  [ "bottleneck(10)"; "clique(11)"; "min(12)"; "conservative(13)"; "expected-T(15)" ]
+
+let values (e : Estimators.all) =
+  [
+    e.Estimators.bottleneck;
+    e.Estimators.clique_constraint;
+    e.Estimators.min_clique_bottleneck;
+    e.Estimators.conservative;
+    e.Estimators.expected_clique_time;
+  ]
+
+let mean_abs_error t =
+  match t.rows with
+  | [] -> List.map (fun n -> (n, nan)) estimator_names
+  | rows ->
+    let n = float_of_int (List.length rows) in
+    let sums =
+      List.fold_left
+        (fun acc r ->
+          List.map2 (fun s v -> s +. Float.abs (v -. r.truth_mbps)) acc (values r.estimates))
+        [ 0.0; 0.0; 0.0; 0.0; 0.0 ] rows
+    in
+    List.map2 (fun name s -> (name, s /. n)) estimator_names sums
+
+let sweep_seeds ~seeds =
+  let all_rows = List.concat_map (fun seed -> (compute ~seed ()).rows) seeds in
+  match all_rows with
+  | [] -> List.map (fun n -> (n, nan)) estimator_names
+  | rows ->
+    let n = float_of_int (List.length rows) in
+    let sums =
+      List.fold_left
+        (fun acc r ->
+          List.map2 (fun s v -> s +. Float.abs (v -. r.truth_mbps)) acc (values r.estimates))
+        [ 0.0; 0.0; 0.0; 0.0; 0.0 ] rows
+    in
+    List.map2 (fun name s -> (name, s /. n)) estimator_names sums
+
+let print ?seed () =
+  let t = compute ?seed () in
+  Printf.printf "# E4 (Fig. 4): estimated vs true available bandwidth (average-e2eD paths)\n";
+  Printf.printf "%5s %8s %15s %12s %10s %17s %15s\n" "flow" "truth" "bottleneck(10)" "clique(11)"
+    "min(12)" "conservative(13)" "expected-T(15)";
+  List.iter
+    (fun r ->
+      match values r.estimates with
+      | [ b; c; m; cons; e ] ->
+        Printf.printf "%5d %8.2f %15.2f %12.2f %10.2f %17.2f %15.2f\n" r.flow_index r.truth_mbps b
+          c m cons e
+      | _ -> assert false)
+    t.rows;
+  Printf.printf "mean |error| per estimator:\n";
+  List.iter (fun (name, e) -> Printf.printf "  %-18s %8.3f\n" name e) (mean_abs_error t)

@@ -1,0 +1,39 @@
+(** Experiment E4 — Fig. 4: estimation metrics for path available
+    bandwidth.
+
+    The five distributed estimators of Section 4 are applied to the
+    paths the average-e2eD metric finds in E3, against the LP ground
+    truth of Equation 6.  Each estimator sees only per-link effective
+    rates, carrier-sense idleness under the current background schedule,
+    and the path's local interference cliques.  The paper's shape:
+    the conservative clique constraint (Equation 13) tracks the truth
+    best; the plain clique constraint (Equation 11) ignores background
+    and over-estimates under load; idle-time-based metrics under-
+    estimate under heavy background. *)
+
+type row = {
+  flow_index : int;
+  truth_mbps : float;  (** LP ground truth of the chosen path. *)
+  estimates : Wsn_availbw.Estimators.all;  (** The five estimators' values. *)
+}
+
+type t = {
+  seed : int64;
+  rows : row list;
+}
+
+val compute : ?seed:int64 -> ?metric:Wsn_routing.Metrics.t -> unit -> t
+(** Run E3's admission under [metric] (default average-e2eD) and
+    evaluate all estimators at every flow arrival (default seed 30). *)
+
+val mean_abs_error : t -> (string * float) list
+(** Mean absolute deviation of each estimator from the truth across
+    rows (the quantitative form of "performs the best"). *)
+
+val sweep_seeds : seeds:int64 list -> (string * float) list
+(** Mean absolute estimator error aggregated over several seeds — the
+    multi-topology form of the paper's single-topology Fig. 4 claim
+    (rows from all seeds pooled before averaging). *)
+
+val print : ?seed:int64 -> unit -> unit
+(** Print the series and error summary to stdout. *)

@@ -1,0 +1,85 @@
+module Pcg32 = Wsn_prng.Pcg32
+module Model = Wsn_conflict.Model
+module Rate = Wsn_radio.Rate
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Validity = Wsn_availbw.Validity
+
+type summary = {
+  instances : int;
+  violations : int;
+  max_excess : float;
+  mean_min_max : float;
+}
+
+let rate_54 = 0
+
+let rate_36 = 1
+
+(* Random pairwise interference with the physically-grounded structure
+   of the paper's example: a concurrent pair fails when either
+   reception fails, and each reception's failure depends on its own
+   rate only — the faster (more fragile) rate failing whenever the
+   slower one does.  Per unordered pair (i, j) we draw booleans
+   [a54 ≥ a36] ("i's reception fails at that rate under j's
+   interference") and [b54 ≥ b36] (the converse), so
+   [interferes (i,ri) (j,rj) = a(ri) || b(rj)].  Chain neighbours
+   always interfere, making the path a genuine multihop chain. *)
+let random_model rng ~n_links =
+  let table = Hashtbl.create 16 in
+  let coin () = Pcg32.next_below rng 2 = 0 in
+  for i = 0 to n_links - 1 do
+    for j = i + 1 to n_links - 1 do
+      let adjacent_on_chain = j = i + 1 in
+      let a54 = adjacent_on_chain || coin () in
+      let a36 = adjacent_on_chain || (a54 && coin ()) in
+      let b54 = adjacent_on_chain || coin () in
+      let b36 = adjacent_on_chain || (b54 && coin ()) in
+      Hashtbl.replace table (i, j) (a54, a36, b54, b36)
+    done
+  done;
+  let interferes (l1, r1) (l2, r2) =
+    if l1 = l2 then true
+    else begin
+      let (i, ri), (j, rj) = if l1 < l2 then ((l1, r1), (l2, r2)) else ((l2, r2), (l1, r1)) in
+      let a54, a36, b54, b36 = Hashtbl.find table (i, j) in
+      let a = if ri = rate_36 then a36 else a54 in
+      let b = if rj = rate_36 then b36 else b54 in
+      a || b
+    end
+  in
+  Model.declared ~n_links ~rates:Rate.chain_36_54
+    ~alone_rates:(fun _ -> [ rate_54; rate_36 ])
+    ~interferes
+
+let run ?(n_links = 4) ?(instances = 200) ~seed () =
+  let rng = Pcg32.create seed in
+  let path = List.init n_links Fun.id in
+  let stats = ref (0, 0.0, 0.0) in
+  for _ = 1 to instances do
+    let model = random_model rng ~n_links in
+    let r = Path_bandwidth.path_capacity model ~path in
+    let optimum = r.Path_bandwidth.bandwidth_mbps in
+    let rep =
+      Validity.hypothesis_min_max_time model ~universe:path ~throughput:(fun _ -> optimum)
+    in
+    let t = rep.Validity.max_clique_time in
+    let violations, max_excess, total = !stats in
+    let violations = if t > 1.0 +. 1e-9 then violations + 1 else violations in
+    let max_excess = Float.max max_excess (t -. 1.0) in
+    stats := (violations, max_excess, total +. t)
+  done;
+  let violations, max_excess, total = !stats in
+  {
+    instances;
+    violations;
+    max_excess = Float.max max_excess 0.0;
+    mean_min_max = total /. float_of_int instances;
+  }
+
+let print ?(seed = 11L) () =
+  let s = run ~seed () in
+  Printf.printf "# E5: Hypothesis (8) sweep over random multirate conflict models\n";
+  Printf.printf "instances=%d violations=%d (%.1f%%) max_excess=%.4f mean_min_max=%.4f\n"
+    s.instances s.violations
+    (100.0 *. float_of_int s.violations /. float_of_int s.instances)
+    s.max_excess s.mean_min_max

@@ -1,0 +1,29 @@
+(** Experiment E5 — how often Hypothesis (8) fails.
+
+    Section 3.2 claims that the clique constraint cannot bound feasible
+    throughput in multirate networks and exhibits one counterexample.
+    This sweep quantifies the phenomenon: over random declared conflict
+    models (two rates, random rate-dependent pairwise interference,
+    monotone in rate — interference at the slow rate implies it at the
+    fast rate), compute the optimum uniform path throughput and the
+    Hypothesis-(8) quantity [min_R max_C Σ y/r]; count how often it
+    exceeds one. *)
+
+type summary = {
+  instances : int;
+  violations : int;  (** Instances with [min_R max_C Σ y/r > 1 + 1e-9]. *)
+  max_excess : float;  (** Largest observed [min_R max_C − 1] (0 when never exceeded). *)
+  mean_min_max : float;  (** Mean of the Hypothesis quantity. *)
+}
+
+val random_model : Wsn_prng.Pcg32.t -> n_links:int -> Wsn_conflict.Model.t
+(** One random declared model over the 36/54 rate pair, with chain
+    neighbours always interfering (so the path is a real multihop
+    chain) and other pairs interfering with probability 1/2 at 54 and,
+    independently when already interfering at 54, probability 1/2 at 36. *)
+
+val run : ?n_links:int -> ?instances:int -> seed:int64 -> unit -> summary
+(** Sweep (defaults: 4 links, 200 instances). *)
+
+val print : ?seed:int64 -> unit -> unit
+(** Print the summary to stdout (default seed 11). *)

@@ -1,0 +1,81 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Router = Wsn_routing.Router
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Joint_routing = Wsn_availbw.Joint_routing
+
+type row = {
+  flow_index : int;
+  chosen_mbps : float;
+  best_single_mbps : float;
+  joint_mbps : float;
+}
+
+type t = {
+  seed : int64;
+  k : int;
+  rows : row list;
+}
+
+let compute ?(seed = 30L) ?(k = 6) () =
+  let scenario = RS.generate ~seed () in
+  let topo = scenario.RS.topology in
+  let model = scenario.RS.model in
+  let run =
+    Admission.run ~stop_on_failure:false topo model ~metric:Metrics.Average_e2e_delay
+      ~flows:scenario.RS.flows
+  in
+  let rows = ref [] in
+  let background = ref [] in
+  List.iter
+    (fun (step : Admission.step) ->
+      let source = step.Admission.source and target = step.Admission.target in
+      let candidates =
+        Router.candidate_paths topo ~metric:Metrics.E2e_transmission_delay
+          ~idleness:(fun _ -> 1.0) ~source ~target ~k
+      in
+      (match candidates with
+       | [] -> ()
+       | _ ->
+         let truth path =
+           match Path_bandwidth.available model ~background:!background ~path with
+           | Some r -> r.Path_bandwidth.bandwidth_mbps
+           | None -> 0.0
+         in
+         let best_single = List.fold_left (fun acc p -> Float.max acc (truth p)) 0.0 candidates in
+         let universe = List.sort_uniq compare (List.concat candidates) in
+         let joint =
+           match
+             Joint_routing.max_flow ~universe topo model ~background:!background ~source ~target
+           with
+           | Some r -> r.Joint_routing.throughput_mbps
+           | None -> 0.0
+         in
+         rows :=
+           {
+             flow_index = step.Admission.index;
+             chosen_mbps = step.Admission.available_mbps;
+             best_single_mbps = best_single;
+             joint_mbps = joint;
+           }
+           :: !rows);
+      if step.Admission.admitted then
+        match step.Admission.path with
+        | Some p ->
+          background := Flow.make ~path:p ~demand_mbps:step.Admission.demand_mbps :: !background
+        | None -> ())
+    run.Admission.steps;
+  { seed; k; rows = List.rev !rows }
+
+let print ?seed () =
+  let t = compute ?seed () in
+  Printf.printf "# E12: single-path cost vs splittable joint optimum (k=%d candidates, seed=%Ld)\n"
+    t.k t.seed;
+  Printf.printf "%5s %14s %14s %14s\n" "flow" "avg-e2eD" "best-single" "joint";
+  List.iter
+    (fun r ->
+      Printf.printf "%5d %14.2f %14.2f %14.2f\n" r.flow_index r.chosen_mbps r.best_single_mbps
+        r.joint_mbps)
+    t.rows

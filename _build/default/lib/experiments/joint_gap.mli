@@ -1,0 +1,30 @@
+(** Experiment E12 (extension) — the cost of single-path routing.
+
+    Section 4 observes that joint routing-and-scheduling is NP-hard and
+    proposes heuristics.  The splittable relaxation
+    ({!Wsn_availbw.Joint_routing}) is solvable and upper-bounds every
+    single-path choice over the same candidate links.  Per flow of the
+    Fig. 3 scenario (background = flows previously admitted by
+    average-e2eD) we report three numbers on the union of [k] Yen
+    candidates: the average-e2eD path's LP truth, the best single
+    candidate's truth (the oracle), and the splittable joint optimum.
+    Gaps between the last two measure what path splitting would buy. *)
+
+type row = {
+  flow_index : int;
+  chosen_mbps : float;  (** Truth of the average-e2eD path. *)
+  best_single_mbps : float;  (** Best of the k candidates. *)
+  joint_mbps : float;  (** Splittable optimum over the candidates' links. *)
+}
+
+type t = {
+  seed : int64;
+  k : int;
+  rows : row list;
+}
+
+val compute : ?seed:int64 -> ?k:int -> unit -> t
+(** Defaults: seed 30, k = 6 candidates per flow. *)
+
+val print : ?seed:int64 -> unit -> unit
+(** Print the per-flow comparison. *)

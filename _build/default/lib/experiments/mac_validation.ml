@@ -1,0 +1,70 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Topology = Wsn_net.Topology
+module Idleness = Wsn_sched.Idleness
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Sim = Wsn_mac.Sim
+
+type row = {
+  node : int;
+  analytic : float;
+  measured : float;
+}
+
+type t = {
+  seed : int64;
+  rows : row list;
+  mean_gap : float;
+  background_delivered : (float * float) list;
+}
+
+let compute ?(seed = 30L) ?(duration_us = 2_000_000) () =
+  let scenario = RS.generate ~seed () in
+  let topo = scenario.RS.topology in
+  let run =
+    Admission.run topo scenario.RS.model ~metric:Metrics.Average_e2e_delay
+      ~flows:scenario.RS.flows
+  in
+  let background = Admission.admitted_flows run in
+  let schedule =
+    match Path_bandwidth.background_schedule scenario.RS.model background with
+    | Some s -> s
+    | None -> failwith "Mac_validation: admitted background must be feasible"
+  in
+  let specs =
+    List.map
+      (fun f -> { Sim.links = Flow.links f; demand_mbps = f.Flow.demand_mbps })
+      background
+  in
+  let stats = Sim.run topo ~flows:specs ~duration_us in
+  let rows =
+    List.init (Topology.n_nodes topo) (fun v ->
+        {
+          node = v;
+          analytic = Idleness.node_idleness topo schedule v;
+          measured = stats.Sim.node_idleness.(v);
+        })
+  in
+  let mean_gap =
+    List.fold_left (fun acc r -> acc +. (r.analytic -. r.measured)) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let background_delivered =
+    Array.to_list
+      (Array.map (fun (f : Sim.flow_stats) -> (f.Sim.offered_mbps, f.Sim.delivered_mbps)) stats.Sim.flows)
+  in
+  { seed; rows; mean_gap; background_delivered }
+
+let print ?seed () =
+  let t = compute ?seed () in
+  Printf.printf "# E6: sensed idleness (CSMA/CA sim) vs analytic idleness (optimal schedule)\n";
+  Printf.printf "%5s %10s %10s %8s\n" "node" "analytic" "measured" "gap";
+  List.iter
+    (fun r -> Printf.printf "%5d %10.3f %10.3f %+8.3f\n" r.node r.analytic r.measured (r.analytic -. r.measured))
+    t.rows;
+  Printf.printf "mean gap (analytic - measured) = %+.4f\n" t.mean_gap;
+  Printf.printf "background flows (offered -> delivered Mbps): ";
+  List.iter (fun (o, d) -> Printf.printf " %.1f->%.2f" o d) t.background_delivered;
+  print_newline ()

@@ -1,0 +1,116 @@
+module Generator = Wsn_net.Generator
+module Topology = Wsn_net.Topology
+module Model = Wsn_conflict.Model
+module Metrics = Wsn_routing.Metrics
+module Router = Wsn_routing.Router
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Pcg32 = Wsn_prng.Pcg32
+module Streams = Wsn_prng.Streams
+
+type row = {
+  seed : int64;
+  hops : int;
+  physical_mbps : float;
+  pairwise_mbps : float;
+}
+
+type summary = {
+  rows : row list;
+  mean_overestimate_percent : float;
+  max_overestimate_percent : float;
+  exact_count : int;
+}
+
+let instance ~n_nodes seed =
+  let streams = Streams.create seed in
+  let config =
+    { Generator.n_nodes; width_m = 300.0; height_m = 300.0; max_placement_attempts = 1000 }
+  in
+  let topo = Generator.connected_topology (Streams.stream streams "topology") config in
+  let model = Model.physical topo in
+  let rng = Streams.stream streams "pair" in
+  (* Prefer a multihop pair: retry a few times for a >= 2 hop route. *)
+  let route_between () =
+    let s = Pcg32.next_below rng n_nodes in
+    let d =
+      let rec draw () =
+        let d = Pcg32.next_below rng n_nodes in
+        if d = s then draw () else d
+      in
+      draw ()
+    in
+    (s, d, Router.find_path topo ~metric:Metrics.E2e_transmission_delay ~idleness:(fun _ -> 1.0)
+             ~source:s ~target:d)
+  in
+  let rec pick tries best =
+    if tries = 0 then best
+    else begin
+      match route_between () with
+      | _, _, Some path when List.length path >= 2 -> Some path
+      | _, _, (Some _ as p) -> pick (tries - 1) (if best = None then p else best)
+      | _, _, None -> pick (tries - 1) best
+    end
+  in
+  match pick 10 None with
+  | None -> None
+  | Some path ->
+    let capacity m = (Path_bandwidth.path_capacity m ~path).Path_bandwidth.bandwidth_mbps in
+    Some
+      {
+        seed;
+        hops = List.length path;
+        physical_mbps = capacity model;
+        pairwise_mbps = capacity (Model.pairwise_approximation model);
+      }
+
+let run ?(instances = 20) ?(n_nodes = 12) ~seed () =
+  let sm = Wsn_prng.Splitmix64.create seed in
+  let rows =
+    List.filter_map
+      (fun _ -> instance ~n_nodes (Wsn_prng.Splitmix64.next_int64 sm))
+      (List.init instances Fun.id)
+  in
+  let over r = (r.pairwise_mbps /. r.physical_mbps) -. 1.0 in
+  let n = float_of_int (List.length rows) in
+  {
+    rows;
+    mean_overestimate_percent = 100.0 *. List.fold_left (fun a r -> a +. over r) 0.0 rows /. n;
+    max_overestimate_percent =
+      100.0 *. List.fold_left (fun a r -> Float.max a (over r)) 0.0 rows;
+    exact_count =
+      List.length (List.filter (fun r -> Float.abs (r.pairwise_mbps -. r.physical_mbps) < 1e-6) rows);
+  }
+
+let chain_rows ?(cases = [ (55.0, 8); (55.0, 10); (55.0, 12); (70.0, 10); (100.0, 10) ]) () =
+  List.map
+    (fun (spacing_m, n) ->
+      let topo = Wsn_net.Builders.chain ~spacing_m n in
+      let model = Model.physical topo in
+      let path = Wsn_net.Builders.chain_hop_links topo in
+      let capacity m = (Path_bandwidth.path_capacity m ~path).Path_bandwidth.bandwidth_mbps in
+      {
+        seed = Int64.of_int n;
+        hops = List.length path;
+        physical_mbps = capacity model;
+        pairwise_mbps = capacity (Model.pairwise_approximation model);
+      })
+    cases
+
+let print ?(seed = 5L) () =
+  let s = run ~seed () in
+  Printf.printf "# E13: protocol (pairwise) model vs physical (SINR) model, path capacity\n";
+  Printf.printf "%18s %5s %12s %12s\n" "instance" "hops" "physical" "pairwise";
+  List.iter
+    (fun r -> Printf.printf "%18Ld %5d %12.2f %12.2f\n" r.seed r.hops r.physical_mbps r.pairwise_mbps)
+    s.rows;
+  Printf.printf
+    "pairwise over-estimates by %.1f%% on average (max %.1f%%); exact on %d/%d instances\n"
+    s.mean_overestimate_percent s.max_overestimate_percent s.exact_count (List.length s.rows);
+  Printf.printf "# chains (three or more concurrent path links expose cumulative interference):\n";
+  Printf.printf "%8s %5s %12s %12s %8s\n" "nodes" "hops" "physical" "pairwise" "gap-%";
+  List.iter
+    (fun r ->
+      Printf.printf "%8Ld %5d %12.3f %12.3f %8.1f\n" r.seed r.hops r.physical_mbps
+        r.pairwise_mbps
+        (100.0 *. ((r.pairwise_mbps /. r.physical_mbps) -. 1.0)))
+    (chain_rows ())

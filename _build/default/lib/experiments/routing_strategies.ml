@@ -1,0 +1,74 @@
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Qos_routing = Wsn_routing.Qos_routing
+
+type entry = {
+  label : string;
+  admitted : int;
+  first_failure : int option;
+  run : Admission.run;
+}
+
+type t = {
+  seed : int64;
+  entries : entry list;
+}
+
+let candidate_k = 4
+
+let policies () =
+  let metric m topo model flows = Admission.run topo model ~metric:m ~flows in
+  let strategy s topo model flows = Admission.run_strategy topo model ~strategy:s ~flows in
+  [
+    (Metrics.name Metrics.Hop_count, metric Metrics.Hop_count);
+    (Metrics.name Metrics.Average_e2e_delay, metric Metrics.Average_e2e_delay);
+    ( Qos_routing.strategy_name
+        (Qos_routing.Estimator_select { k = candidate_k; estimator = Qos_routing.Conservative }),
+      strategy
+        (Qos_routing.Estimator_select { k = candidate_k; estimator = Qos_routing.Conservative }) );
+    ( Qos_routing.strategy_name (Qos_routing.Oracle_select { k = candidate_k }),
+      strategy (Qos_routing.Oracle_select { k = candidate_k }) );
+  ]
+
+let compute ?(seed = 30L) () =
+  let scenario = RS.generate ~seed () in
+  let entries =
+    List.map
+      (fun (label, policy) ->
+        let run = policy scenario.RS.topology scenario.RS.model scenario.RS.flows in
+        let admitted =
+          List.length (List.filter (fun s -> s.Admission.admitted) run.Admission.steps)
+        in
+        { label; admitted; first_failure = run.Admission.first_failure; run })
+      (policies ())
+  in
+  { seed; entries }
+
+let sweep_seeds ~seeds =
+  let totals = Hashtbl.create 4 in
+  List.iter
+    (fun seed ->
+      let t = compute ~seed () in
+      List.iter
+        (fun e ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt totals e.label) in
+          Hashtbl.replace totals e.label (prev + e.admitted))
+        t.entries)
+    seeds;
+  let n = float_of_int (List.length seeds) in
+  List.map
+    (fun (label, _) -> (label, float_of_int (Option.value ~default:0 (Hashtbl.find_opt totals label)) /. n))
+    (policies ())
+
+let print ?seed () =
+  let t = compute ?seed () in
+  Printf.printf "# E7: bandwidth-aware routing vs additive metrics (seed=%Ld)\n" t.seed;
+  List.iter
+    (fun e ->
+      Printf.printf "%-28s admitted=%d" e.label e.admitted;
+      (match e.first_failure with
+       | Some i -> Printf.printf " first-failure=%d" i
+       | None -> Printf.printf " all-admitted");
+      print_newline ())
+    t.entries

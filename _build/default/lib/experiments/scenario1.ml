@@ -1,0 +1,35 @@
+module S1 = Wsn_workload.Scenarios.Scenario_i
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+
+type row = {
+  lambda : float;
+  lp_truth_mbps : float;
+  closed_form_mbps : float;
+  idle_estimate_mbps : float;
+}
+
+let default_grid = List.init 11 (fun i -> 0.05 *. float_of_int i)
+
+let row lambda =
+  let lp_truth_mbps =
+    match Path_bandwidth.available S1.model ~background:(S1.background ~lambda) ~path:S1.new_path with
+    | Some r -> r.Path_bandwidth.bandwidth_mbps
+    | None -> 0.0
+  in
+  {
+    lambda;
+    lp_truth_mbps;
+    closed_form_mbps = S1.optimal_bandwidth ~lambda;
+    idle_estimate_mbps = S1.idle_time_estimate ~lambda;
+  }
+
+let rows ?(grid = default_grid) () = List.map row grid
+
+let print ?grid () =
+  Printf.printf "# E1 (Scenario I): available bandwidth over L3 vs background share\n";
+  Printf.printf "%8s %14s %14s %14s\n" "lambda" "LP-truth" "(1-l)*r" "idle-(1-2l)*r";
+  List.iter
+    (fun r ->
+      Printf.printf "%8.2f %14.2f %14.2f %14.2f\n" r.lambda r.lp_truth_mbps r.closed_form_mbps
+        r.idle_estimate_mbps)
+    (rows ?grid ())

@@ -1,0 +1,74 @@
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Bounds = Wsn_availbw.Bounds
+module Validity = Wsn_availbw.Validity
+
+type result = {
+  optimum_mbps : float;
+  schedule : Wsn_sched.Schedule.t;
+  clique_time_r1 : float;
+  clique_time_r2 : float;
+  hypothesis_min_max : float;
+  eq7_bound_r1 : float;
+  eq7_bound_r2 : float;
+  eq9_upper : float;
+  tdma_lower : float;
+}
+
+let r1_rates _ = S2.rate_54
+
+let r2_rates l = if l = 0 then S2.rate_36 else S2.rate_54
+
+let compute () =
+  let lp = Path_bandwidth.path_capacity S2.model ~path:S2.path in
+  let optimum = lp.Path_bandwidth.bandwidth_mbps in
+  let throughput _ = optimum in
+  let time rate_of =
+    (Validity.max_clique_time S2.model ~universe:S2.path ~throughput ~rate_of)
+      .Validity.max_clique_time
+  in
+  let hyp = Validity.hypothesis_min_max_time S2.model ~universe:S2.path ~throughput in
+  let eq9 =
+    match Bounds.upper_eq9 S2.model ~background:[] ~path:S2.path with
+    | Some b -> b
+    | None -> nan
+  in
+  let tdma =
+    match Bounds.singleton_lower_bound S2.model ~background:[] ~path:S2.path with
+    | Some b -> b
+    | None -> nan
+  in
+  {
+    optimum_mbps = optimum;
+    schedule = lp.Path_bandwidth.schedule;
+    clique_time_r1 = time r1_rates;
+    clique_time_r2 = time r2_rates;
+    hypothesis_min_max = hyp.Validity.max_clique_time;
+    eq7_bound_r1 = Bounds.fixed_rate_clique_bound S2.model ~path:S2.path ~rate_of:r1_rates;
+    eq7_bound_r2 = Bounds.fixed_rate_clique_bound S2.model ~path:S2.path ~rate_of:r2_rates;
+    eq9_upper = eq9;
+    tdma_lower = tdma;
+  }
+
+let paper r =
+  let b1, b2 = S2.paper_fixed_rate_bounds in
+  [
+    ("optimum f* (Mbps)", r.optimum_mbps, S2.paper_optimum);
+    ("max clique time @R1", r.clique_time_r1, 1.2);
+    ("max clique time @R2", r.clique_time_r2, 1.05);
+    ("hypothesis min-max time", r.hypothesis_min_max, 1.05);
+    ("Eq.7 bound @R1 (Mbps)", r.eq7_bound_r1, b1);
+    ("Eq.7 bound @R2 (Mbps)", r.eq7_bound_r2, b2);
+  ]
+
+let print () =
+  let r = compute () in
+  Printf.printf "# E2 (Scenario II, four-link chain): paper vs measured\n";
+  Printf.printf "%-26s %12s %12s\n" "quantity" "measured" "paper";
+  List.iter
+    (fun (name, measured, expected) -> Printf.printf "%-26s %12.4f %12.4f\n" name measured expected)
+    (paper r);
+  Printf.printf "%-26s %12.4f %12s\n" "Eq.9 upper bound (Mbps)" r.eq9_upper "(>= f*)";
+  Printf.printf "%-26s %12.4f %12s\n" "TDMA lower bound (Mbps)" r.tdma_lower "(<= f*)";
+  Printf.printf "witness schedule:\n";
+  Format.printf "%a@." Wsn_sched.Schedule.pp r.schedule

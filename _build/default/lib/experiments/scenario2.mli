@@ -1,0 +1,29 @@
+(** Experiment E2 — the four-link chain of Sections 3.1 and 5.1.
+
+    The headline numbers of the paper, all recomputed from the model:
+    the 16.2 Mbit/s optimum, the witness schedule, the violated clique
+    constraints (1.2 and 1.05), the fixed-rate clique bounds (13.5 and
+    108/7), the corrected Equation-9 upper bound, and a TDMA lower
+    bound. *)
+
+type result = {
+  optimum_mbps : float;  (** LP optimum; paper: 16.2. *)
+  schedule : Wsn_sched.Schedule.t;  (** Witness link schedule. *)
+  clique_time_r1 : float;  (** Max clique time of the optimum under R₁=(54,54,54,54); paper: 1.2. *)
+  clique_time_r2 : float;  (** Under R₂=(36,54,54,54); paper: 1.05. *)
+  hypothesis_min_max : float;  (** min over rate vectors of max clique time; paper: 1.05 (> 1 falsifies Hypothesis 8). *)
+  eq7_bound_r1 : float;  (** Fixed-rate bound under R₁; paper: 13.5. *)
+  eq7_bound_r2 : float;  (** Under R₂; paper: 108/7 ≈ 15.43. *)
+  eq9_upper : float;  (** Corrected upper bound; ≥ optimum (here tight). *)
+  tdma_lower : float;  (** Singleton-column lower bound; 13.5. *)
+}
+
+val compute : unit -> result
+(** Run all computations on {!Wsn_workload.Scenarios.Scenario_ii}. *)
+
+val paper : result -> (string * float * float) list
+(** [(name, measured, paper_value)] triples for every quantity with a
+    published number. *)
+
+val print : unit -> unit
+(** Print measured-vs-paper to stdout. *)

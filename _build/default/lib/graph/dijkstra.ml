@@ -1,0 +1,59 @@
+type tree = { dist : float array; parent : Digraph.edge option array }
+
+let tree g ~weight ~source =
+  let n = Digraph.n_nodes g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra.tree: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n None in
+  let settled = Array.make n false in
+  let q = Pqueue.create () in
+  dist.(source) <- 0.0;
+  Pqueue.push q 0.0 source;
+  let rec drain () =
+    match Pqueue.pop_min q with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        List.iter
+          (fun e ->
+            let w = weight e in
+            if w < 0.0 then invalid_arg "Dijkstra.tree: negative edge weight";
+            if w < infinity then begin
+              let nd = d +. w in
+              let v = e.Digraph.dst in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                parent.(v) <- Some e;
+                Pqueue.push q nd v
+              end
+            end)
+          (Digraph.out_edges g u)
+      end;
+      drain ()
+  in
+  drain ();
+  { dist; parent }
+
+let path_of_tree t ~target =
+  if target < 0 || target >= Array.length t.dist then
+    invalid_arg "Dijkstra.path_of_tree: target out of range";
+  if t.dist.(target) = infinity then None
+  else begin
+    let rec walk v acc =
+      match t.parent.(v) with
+      | None -> acc
+      | Some e -> walk e.Digraph.src (e :: acc)
+    in
+    Some (walk target [])
+  end
+
+let shortest_path g ~weight ~source ~target =
+  let t = tree g ~weight ~source in
+  path_of_tree t ~target
+
+let distance g ~weight ~source ~target =
+  let t = tree g ~weight ~source in
+  if target < 0 || target >= Array.length t.dist then
+    invalid_arg "Dijkstra.distance: target out of range";
+  t.dist.(target)

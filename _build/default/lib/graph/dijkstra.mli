@@ -1,0 +1,27 @@
+(** Single-source shortest paths with non-negative edge weights.
+
+    Weights come from a caller-supplied function, so one graph serves
+    every routing metric (hop count, transmission delay, ...).  An edge
+    may be excluded from the search by giving it weight [infinity]. *)
+
+type tree = {
+  dist : float array;  (** [dist.(v)] is the shortest distance, [infinity] if unreachable. *)
+  parent : Digraph.edge option array;  (** Edge entering [v] on a shortest path. *)
+}
+
+val tree : Digraph.t -> weight:(Digraph.edge -> float) -> source:int -> tree
+(** [tree g ~weight ~source] computes the shortest-path tree.
+    @raise Invalid_argument if [source] is out of range or any explored
+    edge has negative weight. *)
+
+val path_of_tree : tree -> target:int -> Path.t option
+(** [path_of_tree t ~target] reconstructs the path from the tree's
+    source to [target], or [None] if unreachable. *)
+
+val shortest_path :
+  Digraph.t -> weight:(Digraph.edge -> float) -> source:int -> target:int -> Path.t option
+(** One-shot shortest path; [None] when no route exists. *)
+
+val distance :
+  Digraph.t -> weight:(Digraph.edge -> float) -> source:int -> target:int -> float
+(** One-shot distance; [infinity] when no route exists. *)

@@ -1,0 +1,38 @@
+type t = Digraph.edge list
+
+let rec is_chain = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a.Digraph.dst = b.Digraph.src && is_chain rest
+
+let nodes = function
+  | [] -> []
+  | first :: _ as p -> first.Digraph.src :: List.map (fun e -> e.Digraph.dst) p
+
+let is_simple p =
+  is_chain p
+  &&
+  let ns = nodes p in
+  List.length (List.sort_uniq compare ns) = List.length ns
+
+let source = function [] -> None | e :: _ -> Some e.Digraph.src
+
+let target p =
+  match List.rev p with [] -> None | e :: _ -> Some e.Digraph.dst
+
+let length = List.length
+
+let edge_ids p = List.map (fun e -> e.Digraph.id) p
+
+let mem_edge p id = List.exists (fun e -> e.Digraph.id = id) p
+
+let cost w p = List.fold_left (fun acc e -> acc +. w e) 0.0 p
+
+let equal a b = edge_ids a = edge_ids b
+
+let pp fmt p =
+  match nodes p with
+  | [] -> Format.pp_print_string fmt "<empty>"
+  | ns ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+      Format.pp_print_int fmt ns

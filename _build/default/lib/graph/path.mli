@@ -1,0 +1,42 @@
+(** Paths as edge sequences.
+
+    A path is a list of edges forming a chain: the destination of each
+    edge is the source of the next.  The empty list is the trivial path
+    (used nowhere as a route, but convenient as an identity). *)
+
+type t = Digraph.edge list
+(** Edges in travel order. *)
+
+val is_chain : t -> bool
+(** [is_chain p] checks consecutive edges share endpoints. *)
+
+val is_simple : t -> bool
+(** [is_simple p] additionally checks that no node repeats. *)
+
+val source : t -> int option
+(** Source node, [None] on the empty path. *)
+
+val target : t -> int option
+(** Final node, [None] on the empty path. *)
+
+val nodes : t -> int list
+(** All visited nodes in order ([src; ...; dst]); empty for the empty
+    path. *)
+
+val length : t -> int
+(** Hop count. *)
+
+val edge_ids : t -> int list
+(** Identifiers of the path's edges, in order. *)
+
+val mem_edge : t -> int -> bool
+(** [mem_edge p id] tests whether edge [id] lies on [p]. *)
+
+val cost : (Digraph.edge -> float) -> t -> float
+(** [cost w p] is the sum of [w e] over the path's edges. *)
+
+val equal : t -> t -> bool
+(** Structural equality on edge identifiers. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [0 -> 3 -> 7] style node chains. *)

@@ -1,0 +1,72 @@
+type 'a t = { mutable keys : float array; mutable vals : 'a option array; mutable n : int }
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; n = 0 }
+
+let is_empty q = q.n = 0
+
+let size q = q.n
+
+let grow q =
+  let cap = Array.length q.keys in
+  let keys = Array.make (2 * cap) 0.0 in
+  let vals = Array.make (2 * cap) None in
+  Array.blit q.keys 0 keys 0 q.n;
+  Array.blit q.vals 0 vals 0 q.n;
+  q.keys <- keys;
+  q.vals <- vals
+
+let swap q i j =
+  let k = q.keys.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.keys.(j) <- k;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.keys.(i) < q.keys.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.n && q.keys.(l) < q.keys.(!smallest) then smallest := l;
+  if r < q.n && q.keys.(r) < q.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q key x =
+  if q.n = Array.length q.keys then grow q;
+  q.keys.(q.n) <- key;
+  q.vals.(q.n) <- Some x;
+  q.n <- q.n + 1;
+  sift_up q (q.n - 1)
+
+let pop_min q =
+  if q.n = 0 then None
+  else begin
+    let key = q.keys.(0) in
+    let v = q.vals.(0) in
+    q.n <- q.n - 1;
+    q.keys.(0) <- q.keys.(q.n);
+    q.vals.(0) <- q.vals.(q.n);
+    q.vals.(q.n) <- None;
+    if q.n > 0 then sift_down q 0;
+    match v with
+    | Some x -> Some (key, x)
+    | None -> assert false
+  end
+
+let peek_min q =
+  if q.n = 0 then None
+  else
+    match q.vals.(0) with
+    | Some x -> Some (q.keys.(0), x)
+    | None -> assert false

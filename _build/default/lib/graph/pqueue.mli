@@ -1,0 +1,27 @@
+(** Minimum priority queue over float keys (binary heap).
+
+    Used by Dijkstra and Yen.  Decrease-key is handled by lazy deletion:
+    push the element again with the smaller key and skip stale pops at
+    the call site. *)
+
+type 'a t
+(** A mutable min-heap of ['a] elements keyed by [float]. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val is_empty : 'a t -> bool
+(** Whether the queue holds no elements. *)
+
+val size : 'a t -> int
+(** Number of stored elements (including any stale duplicates). *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key x] inserts [x] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** [pop_min q] removes and returns the minimum-key element, or [None]
+    when empty.  Ties are broken arbitrarily. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** [peek_min q] returns the minimum without removing it. *)

@@ -1,0 +1,78 @@
+(* Yen's k-shortest simple paths: repeatedly compute a shortest path in
+   a graph with selected edges and root-path nodes banned, seeded by the
+   deviations of the previously accepted path. *)
+
+let path_weight weight p = Path.cost weight p
+
+let k_shortest_paths g ~weight ~source ~target ~k =
+  if k < 0 then invalid_arg "Yen.k_shortest_paths: negative k";
+  if k = 0 then []
+  else begin
+    match Dijkstra.shortest_path g ~weight ~source ~target with
+    | None -> []
+    | Some first ->
+      let accepted = ref [ first ] in
+      (* Candidate pool keyed by total weight; paths may repeat, dedup on pop. *)
+      let candidates = Pqueue.create () in
+      let seen_candidate = Hashtbl.create 64 in
+      let add_candidate p =
+        let key = Path.edge_ids p in
+        if not (Hashtbl.mem seen_candidate key) then begin
+          Hashtbl.add seen_candidate key ();
+          Pqueue.push candidates (path_weight weight p) p
+        end
+      in
+      let rec take_prefix n p =
+        if n = 0 then [] else match p with [] -> [] | e :: rest -> e :: take_prefix (n - 1) rest
+      in
+      let expand last_path =
+        let hops = Path.length last_path in
+        for i = 0 to hops - 1 do
+          let root = take_prefix i last_path in
+          let spur_node =
+            match root with
+            | [] -> source
+            | _ -> (match Path.target root with Some v -> v | None -> assert false)
+          in
+          (* Ban edges that would recreate an accepted path sharing this
+             root, and ban revisiting root nodes (spur node excepted). *)
+          let banned_edges = Hashtbl.create 16 in
+          List.iter
+            (fun p ->
+              if take_prefix i p |> Path.equal root then
+                match List.nth_opt p i with
+                | Some e -> Hashtbl.replace banned_edges e.Digraph.id ()
+                | None -> ())
+            !accepted;
+          let banned_nodes = Hashtbl.create 16 in
+          List.iter
+            (fun v -> if v <> spur_node then Hashtbl.replace banned_nodes v ())
+            (Path.nodes root);
+          let restricted e =
+            if
+              Hashtbl.mem banned_edges e.Digraph.id
+              || Hashtbl.mem banned_nodes e.Digraph.src
+              || Hashtbl.mem banned_nodes e.Digraph.dst
+            then infinity
+            else weight e
+          in
+          match Dijkstra.shortest_path g ~weight:restricted ~source:spur_node ~target with
+          | None -> ()
+          | Some spur ->
+            let candidate = root @ spur in
+            if Path.is_simple candidate then add_candidate candidate
+        done
+      in
+      let rec fill () =
+        if List.length !accepted < k then begin
+          expand (List.hd !accepted);
+          match Pqueue.pop_min candidates with
+          | None -> ()
+          | Some (_, p) ->
+            accepted := p :: !accepted;
+            fill ()
+        end
+      in
+      fill ();
+      List.rev !accepted
+  end

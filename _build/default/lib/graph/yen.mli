@@ -1,0 +1,17 @@
+(** Yen's algorithm for the k shortest loopless paths.
+
+    The QoS routing layer proposes several candidate routes per flow and
+    ranks them by estimated available bandwidth; Yen supplies the
+    candidates under any additive metric. *)
+
+val k_shortest_paths :
+  Digraph.t ->
+  weight:(Digraph.edge -> float) ->
+  source:int ->
+  target:int ->
+  k:int ->
+  Path.t list
+(** [k_shortest_paths g ~weight ~source ~target ~k] returns up to [k]
+    simple paths in non-decreasing order of total weight.  Returns fewer
+    than [k] when the graph holds fewer simple paths.
+    @raise Invalid_argument if [k < 0] or a node is out of range. *)

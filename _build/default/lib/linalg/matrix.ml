@@ -1,0 +1,84 @@
+type t = { data : float array; rows : int; cols : int }
+
+let make rows cols x = { data = Array.make (rows * cols) x; rows; cols }
+
+let zeros rows cols = make rows cols 0.0
+
+let init rows cols f =
+  { data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)); rows; cols }
+
+let of_rows arr =
+  let rows = Array.length arr in
+  if rows = 0 then { data = [||]; rows = 0; cols = 0 }
+  else begin
+    let cols = Array.length arr.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then invalid_arg "Matrix.of_rows: ragged rows")
+      arr;
+    init rows cols (fun i j -> arr.(i).(j))
+  end
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+
+let row m i = Array.init m.cols (fun j -> get m i j)
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let mul_vec m v =
+  if Vector.dim v <> m.cols then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let transpose_mul_vec m v =
+  if Vector.dim v <> m.rows then invalid_arg "Matrix.transpose_mul_vec: dimension mismatch";
+  Array.init m.cols (fun j ->
+      let acc = ref 0.0 in
+      for i = 0 to m.rows - 1 do
+        acc := !acc +. (get m i j *. v.(i))
+      done;
+      !acc)
+
+let swap_rows m i k =
+  if i <> k then
+    for j = 0 to m.cols - 1 do
+      let tmp = get m i j in
+      set m i j (get m k j);
+      set m k j tmp
+    done
+
+let scale_row m i a =
+  for j = 0 to m.cols - 1 do
+    set m i j (a *. get m i j)
+  done
+
+let add_scaled_row m ~src ~dst a =
+  if a <> 0.0 then
+    for j = 0 to m.cols - 1 do
+      set m dst j (get m dst j +. (a *. get m src j))
+    done
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "@[<h>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt "  ";
+      Format.fprintf fmt "%8.4f" (get m i j)
+    done;
+    Format.fprintf fmt "@]";
+    if i < m.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,61 @@
+(** Dense row-major float matrices.
+
+    Sized for the small LPs of the bandwidth model (tens of rows, up to a
+    few hundred columns); no sparsity, no blocking.  Row operations are
+    in-place to support the simplex tableau. *)
+
+type t
+(** A dense matrix. *)
+
+val make : int -> int -> float -> t
+(** [make rows cols x] is the [rows]×[cols] matrix filled with [x]. *)
+
+val zeros : int -> int -> t
+(** [zeros rows cols] is the all-zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] has entry [f i j] at row [i], column [j]. *)
+
+val of_rows : float array array -> t
+(** [of_rows rows] copies a rectangular array of rows.
+    @raise Invalid_argument if rows have unequal lengths. *)
+
+val rows : t -> int
+(** Number of rows. *)
+
+val cols : t -> int
+(** Number of columns. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the entry at row [i], column [j]. *)
+
+val set : t -> int -> int -> float -> unit
+(** [set m i j x] writes entry ([i],[j]). *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val row : t -> int -> Vector.t
+(** [row m i] is a fresh copy of row [i]. *)
+
+val col : t -> int -> Vector.t
+(** [col m j] is a fresh copy of column [j]. *)
+
+val mul_vec : t -> Vector.t -> Vector.t
+(** [mul_vec m v] is the matrix–vector product [m v]. *)
+
+val transpose_mul_vec : t -> Vector.t -> Vector.t
+(** [transpose_mul_vec m v] is [mᵀ v]. *)
+
+val swap_rows : t -> int -> int -> unit
+(** [swap_rows m i k] exchanges rows [i] and [k] in place. *)
+
+val scale_row : t -> int -> float -> unit
+(** [scale_row m i a] multiplies row [i] by [a] in place. *)
+
+val add_scaled_row : t -> src:int -> dst:int -> float -> unit
+(** [add_scaled_row m ~src ~dst a] adds [a] times row [src] to row
+    [dst] in place. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line pretty-printer. *)

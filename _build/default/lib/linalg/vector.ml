@@ -1,0 +1,72 @@
+type t = float array
+
+let make n x = Array.make n x
+
+let zeros n = Array.make n 0.0
+
+let init = Array.init
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let check_dims name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg (Printf.sprintf "Vector.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length u) (Array.length v))
+
+let dot u v =
+  check_dims "dot" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let add u v =
+  check_dims "add" u v;
+  Array.init (Array.length u) (fun i -> u.(i) +. v.(i))
+
+let sub u v =
+  check_dims "sub" u v;
+  Array.init (Array.length u) (fun i -> u.(i) -. v.(i))
+
+let scale a v = Array.map (fun x -> a *. x) v
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let max_index v =
+  if Array.length v = 0 then invalid_arg "Vector.max_index: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) > v.(!best) then best := i
+  done;
+  !best
+
+let leq ?(eps = 1e-9) u v =
+  check_dims "leq" u v;
+  let ok = ref true in
+  for i = 0 to Array.length u - 1 do
+    if u.(i) > v.(i) +. eps then ok := false
+  done;
+  !ok
+
+let approx_equal ?(eps = 1e-9) u v =
+  Array.length u = Array.length v
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length u - 1 do
+    if Float.abs (u.(i) -. v.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp fmt v =
+  Format.fprintf fmt "[";
+  Array.iteri (fun i x -> if i > 0 then Format.fprintf fmt "; %g" x else Format.fprintf fmt "%g" x) v;
+  Format.fprintf fmt "]"

@@ -1,0 +1,56 @@
+(** Dense float vectors.
+
+    Thin, allocation-explicit wrappers over [float array] used by the
+    simplex solver and the bandwidth model.  All binary operations check
+    dimensions and raise [Invalid_argument] on mismatch. *)
+
+type t = float array
+(** A vector is a bare float array; indices are 0-based. *)
+
+val make : int -> float -> t
+(** [make n x] is the [n]-vector with every component equal to [x]. *)
+
+val zeros : int -> t
+(** [zeros n] is the [n]-vector of zeros. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val dim : t -> int
+(** [dim v] is the number of components. *)
+
+val copy : t -> t
+(** [copy v] is a fresh vector equal to [v]. *)
+
+val dot : t -> t -> float
+(** [dot u v] is the inner product. *)
+
+val add : t -> t -> t
+(** [add u v] is the component-wise sum. *)
+
+val sub : t -> t -> t
+(** [sub u v] is the component-wise difference. *)
+
+val scale : float -> t -> t
+(** [scale a v] multiplies every component by [a]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] updates [y] in place to [a*x + y]. *)
+
+val norm_inf : t -> float
+(** [norm_inf v] is the maximum absolute component (0 for empty). *)
+
+val max_index : t -> int
+(** [max_index v] is the index of the largest component (first on ties).
+    @raise Invalid_argument on the empty vector. *)
+
+val leq : ?eps:float -> t -> t -> bool
+(** [leq u v] holds when [u.(i) <= v.(i) + eps] for every [i]
+    (default [eps = 1e-9]). *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** [approx_equal u v] holds when no component differs by more than
+    [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer, e.g. [[1.0; 2.5]]. *)

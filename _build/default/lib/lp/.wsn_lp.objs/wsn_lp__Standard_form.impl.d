@@ -1,0 +1,1 @@
+lib/lp/standard_form.ml: Array Float List Tableau Types Wsn_linalg

@@ -1,0 +1,1 @@
+lib/lp/standard_form.mli: Tableau Types Wsn_linalg

@@ -1,0 +1,1 @@
+lib/lp/tableau.mli: Types Wsn_linalg

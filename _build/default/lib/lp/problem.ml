@@ -1,0 +1,200 @@
+module Matrix = Wsn_linalg.Matrix
+module Vector = Wsn_linalg.Vector
+
+type var = int
+
+type var_decl = { vname : string; lower : float; upper : float option; obj : float }
+
+type constr = { cname : string; terms : (var * float) list; sense : Types.sense; rhs : float }
+
+type t = {
+  pname : string;
+  objective : Types.objective;
+  mutable vars : var_decl list;  (* reversed *)
+  mutable nvars : int;
+  mutable constrs : constr list;  (* reversed *)
+  mutable nconstrs : int;
+}
+
+let create ?(name = "lp") objective =
+  { pname = name; objective; vars = []; nvars = 0; constrs = []; nconstrs = 0 }
+
+let name t = t.pname
+
+let add_var t ?(lower = 0.0) ?upper ?(obj = 0.0) vname =
+  (match upper with
+   | Some u when u < lower -> invalid_arg "Problem.add_var: upper < lower"
+   | Some _ | None -> ());
+  let v = t.nvars in
+  t.vars <- { vname; lower; upper; obj } :: t.vars;
+  t.nvars <- t.nvars + 1;
+  v
+
+let add_constraint t ?name terms sense rhs =
+  let cname = match name with Some n -> n | None -> Printf.sprintf "c%d" t.nconstrs in
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Problem.add_constraint: unknown variable")
+    terms;
+  t.constrs <- { cname; terms; sense; rhs } :: t.constrs;
+  t.nconstrs <- t.nconstrs + 1
+
+let decls t = Array.of_list (List.rev t.vars)
+
+let constraints t = List.rev t.constrs
+
+let var_name t v =
+  let d = decls t in
+  if v < 0 || v >= Array.length d then invalid_arg "Problem.var_name: unknown variable";
+  d.(v).vname
+
+let n_vars t = t.nvars
+
+let n_constraints t = t.nconstrs
+
+type solution = { objective : float; values : var -> float; row_duals : float array }
+
+type outcome =
+  | Solution of solution
+  | Unbounded
+  | Infeasible
+
+(* Mapping of each declared variable onto standard-form columns
+   (non-negative variables):
+   - bounded below at [lo]: one column, value [lo + col];
+   - free: two columns [pos] and [neg], value [pos - neg]. *)
+type encoding =
+  | Shifted of { col : int; lo : float }
+  | Split of { pos : int; neg : int }
+
+let solve t =
+  let dcls = decls t in
+  (* Assign standard-form columns. *)
+  let next_col = ref 0 in
+  let fresh () =
+    let c = !next_col in
+    incr next_col;
+    c
+  in
+  let enc =
+    Array.map
+      (fun d ->
+        if d.lower = Float.neg_infinity then Split { pos = fresh (); neg = fresh () }
+        else Shifted { col = fresh (); lo = d.lower })
+      dcls
+  in
+  let ncols = !next_col in
+  (* Expand a (var, coeff) list into standard-form column coefficients,
+     returning the constant offset contributed by lower-bound shifts. *)
+  let expand terms =
+    let row = Vector.zeros ncols in
+    let offset = ref 0.0 in
+    List.iter
+      (fun (v, coeff) ->
+        match enc.(v) with
+        | Shifted { col; lo } ->
+          row.(col) <- row.(col) +. coeff;
+          offset := !offset +. (coeff *. lo)
+        | Split { pos; neg } ->
+          row.(pos) <- row.(pos) +. coeff;
+          row.(neg) <- row.(neg) -. coeff)
+      terms;
+    (row, !offset)
+  in
+  (* Constraint rows: user constraints plus upper-bound rows. *)
+  let upper_rows =
+    List.concat
+      (List.mapi
+         (fun v d ->
+           match (d.upper, enc.(v)) with
+           | None, _ -> []
+           | Some u, Shifted { col; lo } ->
+             let row = Vector.zeros ncols in
+             row.(col) <- 1.0;
+             [ (row, Types.Le, u -. lo) ]
+           | Some u, Split { pos; neg } ->
+             let row = Vector.zeros ncols in
+             row.(pos) <- 1.0;
+             row.(neg) <- -1.0;
+             [ (row, Types.Le, u) ])
+         (Array.to_list dcls))
+  in
+  let user_rows =
+    List.map
+      (fun c ->
+        let row, offset = expand c.terms in
+        (row, c.sense, c.rhs -. offset))
+      (constraints t)
+  in
+  let all_rows = user_rows @ upper_rows in
+  let m = List.length all_rows in
+  let a = Matrix.zeros m ncols in
+  let b = Vector.zeros m in
+  let senses = Array.make m Types.Le in
+  List.iteri
+    (fun i (row, sense, rhs) ->
+      for j = 0 to ncols - 1 do
+        Matrix.set a i j row.(j)
+      done;
+      b.(i) <- rhs;
+      senses.(i) <- sense)
+    all_rows;
+  (* Objective in standard columns (internally always a maximisation). *)
+  let flip = match t.objective with Types.Maximize -> 1.0 | Types.Minimize -> -1.0 in
+  let c = Vector.zeros ncols in
+  let const_term = ref 0.0 in
+  Array.iteri
+    (fun v d ->
+      if d.obj <> 0.0 then
+        match enc.(v) with
+        | Shifted { col; lo } ->
+          c.(col) <- c.(col) +. (flip *. d.obj);
+          const_term := !const_term +. (d.obj *. lo)
+        | Split { pos; neg } ->
+          c.(pos) <- c.(pos) +. (flip *. d.obj);
+          c.(neg) <- c.(neg) -. (flip *. d.obj))
+    dcls;
+  match Tableau.solve ~a ~b ~c ~senses with
+  | Tableau.Unbounded -> Unbounded
+  | Tableau.Infeasible -> Infeasible
+  | Tableau.Optimal { x; objective; duals } ->
+    let row_duals = Array.init (List.length (constraints t)) (fun i -> duals.(i)) in
+    let value v =
+      match enc.(v) with
+      | Shifted { col; lo } -> lo +. x.(col)
+      | Split { pos; neg } -> x.(pos) -. x.(neg)
+    in
+    let obj = (flip *. objective) +. !const_term in
+    Solution { objective = obj; values = value; row_duals }
+
+let value_exn outcome v =
+  match outcome with
+  | Solution s -> s.values v
+  | Unbounded -> failwith "Problem.value_exn: unbounded"
+  | Infeasible -> failwith "Problem.value_exn: infeasible"
+
+let objective_exn = function
+  | Solution s -> s.objective
+  | Unbounded -> failwith "Problem.objective_exn: unbounded"
+  | Infeasible -> failwith "Problem.objective_exn: infeasible"
+
+let pp fmt t =
+  let dcls = decls t in
+  Format.fprintf fmt "@[<v>%a %s:@," Types.pp_objective t.objective t.pname;
+  Format.fprintf fmt "  obj:";
+  Array.iter (fun d -> if d.obj <> 0.0 then Format.fprintf fmt " %+g*%s" d.obj d.vname) dcls;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %s:" c.cname;
+      List.iter (fun (v, k) -> Format.fprintf fmt " %+g*%s" k dcls.(v).vname) c.terms;
+      Format.fprintf fmt " %a %g@," Types.pp_sense c.sense c.rhs)
+    (constraints t);
+  Array.iter
+    (fun d ->
+      match d.upper with
+      | Some u -> Format.fprintf fmt "  %g <= %s <= %g@," d.lower d.vname u
+      | None ->
+        if d.lower <> 0.0 then Format.fprintf fmt "  %s >= %g@," d.vname d.lower)
+    dcls;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,72 @@
+(** Incremental builder for linear programs with named variables.
+
+    The bandwidth model creates one variable per independent set (plus
+    the flow variable) and one constraint per link; this module keeps
+    that construction readable and converts to the standard form required
+    by {!Tableau} on solve.  Variables carry optional bounds:
+
+    - a lower bound (default [0.0]; [neg_infinity] makes the variable
+      free, handled by splitting into a difference of two non-negative
+      variables),
+    - an optional upper bound (handled by an extra [≤] row). *)
+
+type t
+(** A problem under construction (mutable). *)
+
+type var
+(** Handle to a declared variable. *)
+
+val create : ?name:string -> Types.objective -> t
+(** [create obj] starts an empty problem optimised in direction [obj]. *)
+
+val name : t -> string
+(** Problem name (defaults to ["lp"]). *)
+
+val add_var : t -> ?lower:float -> ?upper:float -> ?obj:float -> string -> var
+(** [add_var t name] declares a variable.  [obj] is its objective
+    coefficient (default [0.]).  Default bounds are [0 ≤ x].
+    @raise Invalid_argument if [upper < lower]. *)
+
+val add_constraint : t -> ?name:string -> (var * float) list -> Types.sense -> float -> unit
+(** [add_constraint t terms sense rhs] adds [Σ coeff·var  sense  rhs].
+    Repeated variables in [terms] are summed. *)
+
+val var_name : t -> var -> string
+(** The name given at declaration. *)
+
+val n_vars : t -> int
+(** Number of declared variables. *)
+
+val n_constraints : t -> int
+(** Number of added constraints. *)
+
+type solution = {
+  objective : float;  (** Objective value in the caller's direction. *)
+  values : var -> float;  (** Optimal value of each declared variable. *)
+  row_duals : float array;
+      (** One dual multiplier per {!add_constraint} call, in call order
+          (rows added internally for variable upper bounds are not
+          reported).  Multipliers refer to the {e maximisation} form the
+          solver works on: for a [Maximize] problem they are the usual
+          LP duals; for a [Minimize] problem they price the equivalent
+          maximisation of the negated objective. *)
+}
+
+type outcome =
+  | Solution of solution
+  | Unbounded
+  | Infeasible
+
+val solve : t -> outcome
+(** [solve t] runs the two-phase simplex on the accumulated problem. *)
+
+val value_exn : outcome -> var -> float
+(** [value_exn o v] extracts a variable value.
+    @raise Failure if [o] is not [Solution _]. *)
+
+val objective_exn : outcome -> float
+(** [objective_exn o] extracts the optimal objective.
+    @raise Failure if [o] is not [Solution _]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of the model (for debugging). *)

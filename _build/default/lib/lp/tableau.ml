@@ -1,0 +1,218 @@
+module Matrix = Wsn_linalg.Matrix
+module Vector = Wsn_linalg.Vector
+
+type result =
+  | Optimal of { x : Vector.t; objective : float; duals : Vector.t }
+  | Unbounded
+  | Infeasible
+
+let eps = 1e-9
+
+(* Internal mutable tableau.  [t] has [m] constraint rows plus one
+   objective row; column [ncols] holds the right-hand side.  [basis.(i)]
+   is the column basic in row [i].  The objective row encodes
+   [z - c·x = 0] (entries [-c_j], value cell = current objective of a
+   maximisation), so a column may enter while its entry is below -eps. *)
+type tab = {
+  t : Matrix.t;
+  m : int;
+  ncols : int;
+  basis : int array;
+  n_struct : int;  (* structural columns: originals plus slack/surplus *)
+}
+
+let rhs tab i = Matrix.get tab.t i tab.ncols
+
+let reduced_cost tab j = Matrix.get tab.t tab.m j
+
+(* Eliminate basic columns from the objective row so it holds genuine
+   reduced costs for the current basis. *)
+let price_out tab =
+  for i = 0 to tab.m - 1 do
+    let j = tab.basis.(i) in
+    let r = reduced_cost tab j in
+    if Float.abs r > 0.0 then Matrix.add_scaled_row tab.t ~src:i ~dst:tab.m (-.r)
+  done
+
+let pivot tab ~row ~col =
+  let p = Matrix.get tab.t row col in
+  Matrix.scale_row tab.t row (1.0 /. p);
+  for i = 0 to tab.m do
+    if i <> row then begin
+      let coeff = Matrix.get tab.t i col in
+      if Float.abs coeff > 0.0 then Matrix.add_scaled_row tab.t ~src:row ~dst:i (-.coeff)
+    end
+  done;
+  tab.basis.(row) <- col
+
+(* Entering column: Dantzig rule (most negative reduced cost) normally,
+   Bland rule (lowest eligible index) once [bland] is set. *)
+let entering tab ~allowed ~bland =
+  if bland then begin
+    let found = ref None in
+    (try
+       for j = 0 to tab.ncols - 1 do
+         if allowed j && reduced_cost tab j < -.eps then begin
+           found := Some j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+  else begin
+    let best = ref None in
+    for j = 0 to tab.ncols - 1 do
+      if allowed j then begin
+        let r = reduced_cost tab j in
+        if r < -.eps then
+          match !best with
+          | Some (_, rb) when rb <= r -> ()
+          | _ -> best := Some (j, r)
+      end
+    done;
+    Option.map fst !best
+  end
+
+(* Leaving row: minimum ratio test, ties broken by the smallest basic
+   column index (lexicographic safeguard against cycling). *)
+let leaving tab ~col =
+  let best = ref None in
+  for i = 0 to tab.m - 1 do
+    let a = Matrix.get tab.t i col in
+    if a > eps then begin
+      let ratio = rhs tab i /. a in
+      match !best with
+      | None -> best := Some (i, ratio)
+      | Some (bi, br) ->
+        if ratio < br -. eps || (ratio < br +. eps && tab.basis.(i) < tab.basis.(bi)) then
+          best := Some (i, ratio)
+    end
+  done;
+  Option.map fst !best
+
+type phase_outcome = Finished | Unbounded_phase
+
+let optimise tab ~allowed =
+  let max_iters = 200 * (tab.m + tab.ncols + 10) in
+  let bland_after = 20 * (tab.m + tab.ncols + 10) in
+  let rec loop iter =
+    if iter > max_iters then failwith "Tableau.optimise: iteration cap exceeded";
+    match entering tab ~allowed ~bland:(iter > bland_after) with
+    | None -> Finished
+    | Some col -> (
+      match leaving tab ~col with
+      | None -> Unbounded_phase
+      | Some row ->
+        pivot tab ~row ~col;
+        loop (iter + 1))
+  in
+  loop 0
+
+let solve ~a ~b ~c ~senses =
+  let m = Matrix.rows a in
+  let n = Matrix.cols a in
+  if Vector.dim b <> m then invalid_arg "Tableau.solve: b dimension mismatch";
+  if Vector.dim c <> n then invalid_arg "Tableau.solve: c dimension mismatch";
+  if Array.length senses <> m then invalid_arg "Tableau.solve: senses dimension mismatch";
+  (* Normalise rows to non-negative right-hand sides. *)
+  let rows = Array.init m (fun i -> Matrix.row a i) in
+  let rhs0 = Array.init m (fun i -> b.(i)) in
+  let senses = Array.copy senses in
+  let flip = Array.make m 1.0 in
+  for i = 0 to m - 1 do
+    if rhs0.(i) < 0.0 then begin
+      rows.(i) <- Vector.scale (-1.0) rows.(i);
+      rhs0.(i) <- -.rhs0.(i);
+      flip.(i) <- -1.0;
+      senses.(i) <-
+        (match senses.(i) with Types.Le -> Types.Ge | Types.Ge -> Types.Le | Types.Eq -> Types.Eq)
+    end
+  done;
+  (* Column layout: originals, then one slack/surplus per Le/Ge row, then
+     one artificial per Ge/Eq row. *)
+  let n_slack = Array.fold_left (fun k s -> match s with Types.Le | Types.Ge -> k + 1 | Types.Eq -> k) 0 senses in
+  let n_art = Array.fold_left (fun k s -> match s with Types.Ge | Types.Eq -> k + 1 | Types.Le -> k) 0 senses in
+  let n_struct = n + n_slack in
+  let ncols = n_struct + n_art in
+  let t = Matrix.zeros (m + 1) (ncols + 1) in
+  let basis = Array.make m (-1) in
+  let slack_cursor = ref n in
+  let art_cursor = ref n_struct in
+  (* Per row, a unit "signature" column whose final objective-row entry
+     equals the row's dual value: the slack for Le rows, the artificial
+     for Ge/Eq rows (both enter the tableau as +e_i with zero cost). *)
+  let sig_col = Array.make m (-1) in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      Matrix.set t i j rows.(i).(j)
+    done;
+    Matrix.set t i ncols rhs0.(i);
+    (match senses.(i) with
+     | Types.Le ->
+       Matrix.set t i !slack_cursor 1.0;
+       basis.(i) <- !slack_cursor;
+       sig_col.(i) <- !slack_cursor;
+       incr slack_cursor
+     | Types.Ge ->
+       Matrix.set t i !slack_cursor (-1.0);
+       incr slack_cursor;
+       Matrix.set t i !art_cursor 1.0;
+       basis.(i) <- !art_cursor;
+       sig_col.(i) <- !art_cursor;
+       incr art_cursor
+     | Types.Eq ->
+       Matrix.set t i !art_cursor 1.0;
+       basis.(i) <- !art_cursor;
+       sig_col.(i) <- !art_cursor;
+       incr art_cursor)
+  done;
+  let tab = { t; m; ncols; basis; n_struct } in
+  let is_artificial j = j >= n_struct in
+  (* Phase 1: minimise the sum of artificials. *)
+  if n_art > 0 then begin
+    for j = n_struct to ncols - 1 do
+      Matrix.set t m j 1.0
+    done;
+    price_out tab;
+    (match optimise tab ~allowed:(fun j -> j < ncols) with
+     | Unbounded_phase -> failwith "Tableau.solve: phase 1 unbounded (impossible)"
+     | Finished -> ());
+    let phase1_value = -.Matrix.get t m ncols in
+    if phase1_value > 1e-7 then raise Exit
+  end;
+  (* Drive any artificial still basic (at zero level) out of the basis
+     when a structural pivot exists; otherwise the row is redundant and
+     the artificial stays pinned at zero. *)
+  for i = 0 to m - 1 do
+    if is_artificial tab.basis.(i) then begin
+      let found = ref None in
+      for j = 0 to n_struct - 1 do
+        if !found = None && Float.abs (Matrix.get t i j) > eps then found := Some j
+      done;
+      match !found with Some j -> pivot tab ~row:i ~col:j | None -> ()
+    end
+  done;
+  (* Phase 2: reset the objective row to the real costs (negated, per
+     the z-row convention) and optimise. *)
+  for j = 0 to ncols do
+    Matrix.set t m j 0.0
+  done;
+  for j = 0 to n - 1 do
+    Matrix.set t m j (-.c.(j))
+  done;
+  price_out tab;
+  match optimise tab ~allowed:(fun j -> not (is_artificial j)) with
+  | Unbounded_phase -> Unbounded
+  | Finished ->
+    let x = Vector.zeros n in
+    for i = 0 to m - 1 do
+      if tab.basis.(i) < n then x.(tab.basis.(i)) <- rhs tab i
+    done;
+    let duals =
+      Vector.init m (fun i -> flip.(i) *. Matrix.get t m sig_col.(i))
+    in
+    Optimal { x; objective = Matrix.get t m ncols; duals }
+
+let solve ~a ~b ~c ~senses =
+  try solve ~a ~b ~c ~senses with Exit -> Infeasible

@@ -1,0 +1,39 @@
+(** Two-phase primal simplex on standard-form problems.
+
+    Solves
+    {v
+      maximize    c · x
+      subject to  A_i · x  (sense_i)  b_i     for every row i
+                  x ≥ 0
+    v}
+    with a dense tableau.  Phase 1 minimises the sum of artificial
+    variables to find a basic feasible solution; phase 2 optimises the
+    real objective.  Entering columns follow Dantzig's rule and fall
+    back to Bland's rule after a stall threshold, which guarantees
+    termination.  Tolerances are absolute ([1e-9]); the LPs of this
+    repository are small and well-scaled. *)
+
+type result =
+  | Optimal of {
+      x : Wsn_linalg.Vector.t;
+      objective : float;
+      duals : Wsn_linalg.Vector.t;
+          (** One dual multiplier per input row (order preserved):
+              [Σ_i duals.(i) · b.(i) = objective] at the optimum (strong
+              duality), and for every column [j],
+              [Σ_i duals.(i) · a.(i).(j) ≥ c.(j)] (dual feasibility).
+              Used by column generation to price candidate columns. *)
+    }  (** Optimal primal solution and objective value. *)
+  | Unbounded  (** The objective is unbounded above. *)
+  | Infeasible  (** No point satisfies all constraints. *)
+
+val solve :
+  a:Wsn_linalg.Matrix.t ->
+  b:Wsn_linalg.Vector.t ->
+  c:Wsn_linalg.Vector.t ->
+  senses:Types.sense array ->
+  result
+(** [solve ~a ~b ~c ~senses] maximises [c·x] subject to the rows of
+    [a]/[b]/[senses] and [x ≥ 0].
+    @raise Invalid_argument on dimension mismatches.
+    @raise Failure if the iteration cap is exceeded (indicates a bug). *)

@@ -1,0 +1,13 @@
+(** Shared vocabulary for the linear-programming library. *)
+
+type sense = Le | Ge | Eq
+(** Constraint sense: [a·x ≤ b], [a·x ≥ b] or [a·x = b]. *)
+
+type objective = Maximize | Minimize
+(** Optimisation direction. *)
+
+val pp_sense : Format.formatter -> sense -> unit
+(** Prints [<=], [>=] or [=]. *)
+
+val pp_objective : Format.formatter -> objective -> unit
+(** Prints [maximize] or [minimize]. *)

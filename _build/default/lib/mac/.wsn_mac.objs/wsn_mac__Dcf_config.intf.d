@@ -1,0 +1,1 @@
+lib/mac/dcf_config.mli:

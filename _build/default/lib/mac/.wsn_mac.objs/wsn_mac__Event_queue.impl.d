@@ -1,0 +1,1 @@
+lib/mac/event_queue.ml: Array List

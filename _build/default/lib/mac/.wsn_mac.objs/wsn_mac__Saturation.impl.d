@@ -1,0 +1,1 @@
+lib/mac/saturation.ml: Dcf_config

@@ -1,0 +1,1 @@
+lib/mac/saturation.mli: Dcf_config

@@ -1,0 +1,1 @@
+lib/mac/sim.ml: Array Dcf_config Event_queue Float List Queue Wsn_graph Wsn_net Wsn_prng Wsn_radio

@@ -1,0 +1,1 @@
+lib/mac/sim.mli: Dcf_config Wsn_net

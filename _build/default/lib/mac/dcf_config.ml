@@ -1,0 +1,34 @@
+type t = {
+  slot_us : int;
+  difs_us : int;
+  cw_min : int;
+  cw_max : int;
+  retry_limit : int;
+  payload_bits : int;
+  queue_limit : int;
+  rts_cts : bool;
+  rts_cts_overhead_us : int;
+}
+
+let default =
+  {
+    slot_us = 9;
+    difs_us = 34;
+    cw_min = 16;
+    cw_max = 1024;
+    retry_limit = 7;
+    payload_bits = 12_000;
+    queue_limit = 64;
+    rts_cts = false;
+    rts_cts_overhead_us = 66;
+  }
+
+let with_rts_cts t = { t with rts_cts = true }
+
+let difs_slots t = (t.difs_us + t.slot_us - 1) / t.slot_us
+
+let tx_slots t ~rate_mbps =
+  if rate_mbps <= 0.0 then invalid_arg "Dcf_config.tx_slots: non-positive rate";
+  let overhead = if t.rts_cts then float_of_int t.rts_cts_overhead_us else 0.0 in
+  let airtime_us = (float_of_int t.payload_bits /. rate_mbps) +. overhead in
+  int_of_float (Float.ceil (airtime_us /. float_of_int t.slot_us))

@@ -1,0 +1,31 @@
+(** IEEE 802.11 DCF timing and retry parameters.
+
+    Values follow the 802.11a OFDM PHY.  The simulator quantises time to
+    the backoff slot, so DIFS is rounded up to whole slots. *)
+
+type t = {
+  slot_us : int;  (** Backoff slot duration (802.11a: 9 µs). *)
+  difs_us : int;  (** DCF inter-frame space (34 µs). *)
+  cw_min : int;  (** Initial contention window (16). *)
+  cw_max : int;  (** Maximum contention window (1024). *)
+  retry_limit : int;  (** Transmission attempts before a frame is dropped (7). *)
+  payload_bits : int;  (** MAC frame payload (12000 = 1500 bytes). *)
+  queue_limit : int;  (** Per-node interface queue capacity, frames (64). *)
+  rts_cts : bool;  (** Virtual carrier sensing: an RTS/CTS exchange makes every node that hears the {e receiver} defer too, suppressing hidden terminals (default off). *)
+  rts_cts_overhead_us : int;  (** Added airtime of the RTS/SIFS/CTS/SIFS exchange (66 µs). *)
+}
+
+val default : t
+(** The 802.11a values above, RTS/CTS off. *)
+
+val with_rts_cts : t -> t
+(** The same configuration with the RTS/CTS handshake enabled. *)
+
+val difs_slots : t -> int
+(** DIFS in whole slots, rounded up. *)
+
+val tx_slots : t -> rate_mbps:float -> int
+(** Airtime of one frame at [rate_mbps], in whole slots, rounded up
+    ([payload_bits] / rate; 1 Mbit/s = 1 bit/µs), plus the RTS/CTS
+    overhead when enabled.
+    @raise Invalid_argument if [rate_mbps <= 0]. *)

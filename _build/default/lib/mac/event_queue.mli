@@ -1,0 +1,31 @@
+(** Time-ordered event queue for discrete-event simulation.
+
+    A binary min-heap keyed by (time, sequence): events at equal times
+    pop in insertion order, which keeps simulations deterministic. *)
+
+type 'a t
+(** A mutable queue of ['a] events. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val is_empty : 'a t -> bool
+(** Whether no events are pending. *)
+
+val size : 'a t -> int
+(** Number of pending events. *)
+
+val schedule : 'a t -> time:int -> 'a -> unit
+(** [schedule q ~time e] enqueues [e] at [time] (microseconds or any
+    monotone integer clock).
+    @raise Invalid_argument if [time] is negative. *)
+
+val next_time : 'a t -> int option
+(** Time of the earliest pending event. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event (FIFO among equal times). *)
+
+val pop_until : 'a t -> time:int -> (int * 'a) list
+(** [pop_until q ~time] removes and returns, in order, every event with
+    time at most [time]. *)

@@ -1,0 +1,57 @@
+(** Slotted CSMA/CA (802.11-DCF-style) network simulator.
+
+    The paper's distributed estimator measures channel idleness by
+    carrier sensing; this simulator produces that measurement for any
+    topology and background traffic, complementing the analytic
+    idleness derived from an optimal schedule.  Model:
+
+    - time advances in backoff slots; a station defers while the channel
+      is sensed busy, waits DIFS, then counts down a uniform backoff in
+      [0, CW) and transmits a whole frame;
+    - every link transmits at its best alone rate;
+    - reception succeeds iff the receiver is not itself transmitting and
+      the SINR (Equation 3 over all concurrent transmitters) stays above
+      the rate's requirement for the frame's whole airtime;
+    - failed frames retry with doubled contention window up to a retry
+      limit; flows forward hop by hop along their link paths;
+    - no RTS/CTS and no ACK airtime: the transmitter learns the outcome
+      for free.  This idealisation does not affect the sensed-idleness
+      measurement, which only depends on data-frame airtime.
+
+    Everything is deterministic in the seed. *)
+
+type flow_spec = {
+  links : int list;  (** The flow's route as topology link ids; each link's source must be the previous link's destination. *)
+  demand_mbps : float;  (** Offered CBR load. *)
+}
+
+type flow_stats = {
+  offered_mbps : float;
+  delivered_mbps : float;  (** End-to-end goodput over the run. *)
+  frames_delivered : int;
+  frames_dropped : int;  (** Retry-limit and queue-overflow losses, all hops. *)
+  mean_latency_us : float;  (** Mean end-to-end frame latency; [nan] when nothing was delivered. *)
+  p95_latency_us : float;  (** 95th-percentile latency; [nan] when nothing was delivered. *)
+}
+
+type stats = {
+  duration_us : int;
+  node_idleness : float array;  (** Per node: share of slots the channel was sensed idle. *)
+  flows : flow_stats array;  (** Aligned with the input flow list. *)
+  frames_sent : int;  (** Transmission attempts, all hops and retries. *)
+  collisions : int;  (** Attempts that ended corrupted. *)
+}
+
+val link_idleness : stats -> Wsn_net.Topology.t -> int -> float
+(** Equation 10 on measured data: min of the endpoints' idleness. *)
+
+val run :
+  ?config:Dcf_config.t ->
+  ?seed:int64 ->
+  Wsn_net.Topology.t ->
+  flows:flow_spec list ->
+  duration_us:int ->
+  stats
+(** [run topo ~flows ~duration_us] simulates the network (default
+    config {!Dcf_config.default}, default seed 1).
+    @raise Invalid_argument on an invalid route or negative demand. *)

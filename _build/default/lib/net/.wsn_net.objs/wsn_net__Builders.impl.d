@@ -1,0 +1,1 @@
+lib/net/builders.ml: Array Float List Point Topology Wsn_graph

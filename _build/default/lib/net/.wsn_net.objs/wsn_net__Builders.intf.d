@@ -1,0 +1,1 @@
+lib/net/builders.mli: Topology Wsn_radio

@@ -1,0 +1,1 @@
+lib/net/generator.ml: Array List Point Topology Wsn_prng

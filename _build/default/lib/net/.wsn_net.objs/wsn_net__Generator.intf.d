@@ -1,0 +1,1 @@
+lib/net/generator.mli: Point Topology Wsn_prng Wsn_radio

@@ -1,0 +1,1 @@
+lib/net/point.ml: Format

@@ -1,0 +1,1 @@
+lib/net/point.mli: Format

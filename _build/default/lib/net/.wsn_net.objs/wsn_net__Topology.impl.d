@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Format List Point Wsn_graph Wsn_radio

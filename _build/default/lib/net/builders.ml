@@ -1,0 +1,34 @@
+module Digraph = Wsn_graph.Digraph
+
+let chain ?phy ~spacing_m n =
+  if n < 1 then invalid_arg "Builders.chain: need at least one node";
+  if spacing_m <= 0.0 then invalid_arg "Builders.chain: spacing must be positive";
+  Topology.create ?phy (Array.init n (fun i -> Point.make (spacing_m *. float_of_int i) 0.0))
+
+let grid ?phy ~pitch_m ~rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid: non-positive dimensions";
+  if pitch_m <= 0.0 then invalid_arg "Builders.grid: pitch must be positive";
+  Topology.create ?phy
+    (Array.init (rows * cols) (fun i ->
+         Point.make (pitch_m *. float_of_int (i mod cols)) (pitch_m *. float_of_int (i / cols))))
+
+let star ?phy ~radius_m leaves =
+  if leaves < 1 then invalid_arg "Builders.star: need at least one leaf";
+  if radius_m <= 0.0 then invalid_arg "Builders.star: radius must be positive";
+  let positions =
+    Array.init (leaves + 1) (fun i ->
+        if i = 0 then Point.make 0.0 0.0
+        else begin
+          let angle = 2.0 *. Float.pi *. float_of_int (i - 1) /. float_of_int leaves in
+          Point.make (radius_m *. cos angle) (radius_m *. sin angle)
+        end)
+  in
+  Topology.create ?phy positions
+
+let chain_hop_links topo =
+  List.init
+    (Topology.n_nodes topo - 1)
+    (fun i ->
+      match Digraph.find_edge (Topology.graph topo) ~src:i ~dst:(i + 1) with
+      | Some e -> e.Digraph.id
+      | None -> invalid_arg "Builders.chain_hop_links: neighbour hop out of radio range")

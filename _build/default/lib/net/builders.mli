@@ -1,0 +1,22 @@
+(** Deterministic topology shapes used by examples and tests. *)
+
+val chain : ?phy:Wsn_radio.Phy.t -> spacing_m:float -> int -> Topology.t
+(** [chain ~spacing_m n] places [n] nodes on a line, [spacing_m]
+    apart, starting at the origin.
+    @raise Invalid_argument if [n < 1] or [spacing_m <= 0]. *)
+
+val grid : ?phy:Wsn_radio.Phy.t -> pitch_m:float -> rows:int -> int -> Topology.t
+(** [grid ~pitch_m ~rows cols] places nodes on a rectangular lattice;
+    node [(r, c)] has index [r * cols + c].
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val star : ?phy:Wsn_radio.Phy.t -> radius_m:float -> int -> Topology.t
+(** [star ~radius_m leaves] places a hub at the origin (index 0) and
+    [leaves] nodes evenly on a circle of [radius_m].
+    @raise Invalid_argument if [leaves < 1] or [radius_m <= 0]. *)
+
+val chain_hop_links : Topology.t -> int list
+(** For a {!chain}-built topology: the link ids of the forward
+    neighbour hops [0→1, 1→2, ...], the canonical multihop path.
+    @raise Invalid_argument when some neighbour hop has no link (the
+    spacing exceeds the slowest rate's range). *)

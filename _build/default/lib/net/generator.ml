@@ -1,0 +1,36 @@
+module Pcg32 = Wsn_prng.Pcg32
+
+type config = {
+  n_nodes : int;
+  width_m : float;
+  height_m : float;
+  max_placement_attempts : int;
+}
+
+let paper_config = { n_nodes = 30; width_m = 400.0; height_m = 600.0; max_placement_attempts = 1000 }
+
+let random_positions rng cfg =
+  Array.init cfg.n_nodes (fun _ ->
+      let x = Pcg32.uniform rng 0.0 cfg.width_m in
+      let y = Pcg32.uniform rng 0.0 cfg.height_m in
+      Point.make x y)
+
+let connected_topology ?phy rng cfg =
+  let rec attempt k =
+    if k >= cfg.max_placement_attempts then
+      failwith "Generator.connected_topology: no connected placement found";
+    let topo = Topology.create ?phy (random_positions rng cfg) in
+    if Topology.is_connected topo then topo else attempt (k + 1)
+  in
+  attempt 0
+
+let random_pairs rng ~n_nodes ~count =
+  if n_nodes < 2 then invalid_arg "Generator.random_pairs: need at least 2 nodes";
+  if count < 0 then invalid_arg "Generator.random_pairs: negative count";
+  List.init count (fun _ ->
+      let src = Pcg32.next_below rng n_nodes in
+      let rec draw_dst () =
+        let dst = Pcg32.next_below rng n_nodes in
+        if dst = src then draw_dst () else dst
+      in
+      (src, draw_dst ()))

@@ -1,0 +1,30 @@
+(** Random topology and flow-endpoint generation (Section 5.2 setup).
+
+    The paper places 30 nodes uniformly at random in a 400 m × 600 m
+    rectangle and picks 8 source–destination pairs, each demanding
+    2 Mbps.  The generator retries placement until the topology is
+    connected so every flow admits at least one route. *)
+
+type config = {
+  n_nodes : int;  (** Node count (paper: 30). *)
+  width_m : float;  (** Area width (paper: 400). *)
+  height_m : float;  (** Area height (paper: 600). *)
+  max_placement_attempts : int;  (** Retries before giving up (default 1000). *)
+}
+
+val paper_config : config
+(** 30 nodes, 400 m × 600 m, 1000 attempts. *)
+
+val random_positions : Wsn_prng.Pcg32.t -> config -> Point.t array
+(** Uniform node placement (no connectivity guarantee). *)
+
+val connected_topology : ?phy:Wsn_radio.Phy.t -> Wsn_prng.Pcg32.t -> config -> Topology.t
+(** [connected_topology rng cfg] redraws placements until the derived
+    topology is connected.
+    @raise Failure after [max_placement_attempts] failures. *)
+
+val random_pairs : Wsn_prng.Pcg32.t -> n_nodes:int -> count:int -> (int * int) list
+(** [random_pairs rng ~n_nodes ~count] draws [count] source–destination
+    pairs with distinct endpoints within each pair (pairs themselves may
+    repeat endpoints across pairs, as in the paper).
+    @raise Invalid_argument if [n_nodes < 2] or [count < 0]. *)

@@ -1,0 +1,67 @@
+module Digraph = Wsn_graph.Digraph
+module Phy = Wsn_radio.Phy
+module Rate = Wsn_radio.Rate
+
+type t = {
+  phy : Phy.t;
+  positions : Point.t array;
+  graph : Digraph.t;
+  alone_rates : Rate.t array;  (* indexed by link id *)
+}
+
+let create ?(phy = Phy.default) positions =
+  let n = Array.length positions in
+  let graph = Digraph.create n in
+  let rates = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let d = Point.distance positions.(u) positions.(v) in
+        match Phy.best_rate_alone phy d with
+        | None -> ()
+        | Some r ->
+          let _ = Digraph.add_edge graph ~src:u ~dst:v in
+          rates := r :: !rates
+      end
+    done
+  done;
+  { phy; positions; graph; alone_rates = Array.of_list (List.rev !rates) }
+
+let phy t = t.phy
+
+let graph t = t.graph
+
+let n_nodes t = Array.length t.positions
+
+let n_links t = Digraph.n_edges t.graph
+
+let position t v =
+  if v < 0 || v >= Array.length t.positions then invalid_arg "Topology.position: node out of range";
+  t.positions.(v)
+
+let node_distance t u v = Point.distance (position t u) (position t v)
+
+let link t id = Digraph.edge t.graph id
+
+let links t = Digraph.edges t.graph
+
+let link_distance t id =
+  let e = link t id in
+  node_distance t e.Digraph.src e.Digraph.dst
+
+let alone_rate t id =
+  if id < 0 || id >= Array.length t.alone_rates then invalid_arg "Topology.alone_rate: link out of range";
+  t.alone_rates.(id)
+
+let alone_mbps t id = Rate.mbps (Phy.rates t.phy) (alone_rate t id)
+
+let is_connected t = Wsn_graph.Components.is_connected t.graph
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>topology: %d nodes, %d links@," (n_nodes t) (n_links t);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  link %d: %d -> %d  %.1fm  %gMbps@," e.Digraph.id e.Digraph.src
+        e.Digraph.dst (link_distance t e.Digraph.id) (alone_mbps t e.Digraph.id))
+    (links t);
+  Format.fprintf fmt "@]"

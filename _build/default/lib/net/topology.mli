@@ -1,0 +1,57 @@
+(** A wireless network: node positions plus the directed links the PHY
+    can sustain.
+
+    A directed link [u → v] exists whenever some rate reaches from [u]'s
+    position to [v]'s (distance within the slowest rate's range); its
+    {e alone rate} is the fastest rate sustainable with no concurrent
+    interference (Equation 1).  Link identifiers are the underlying
+    {!Wsn_graph.Digraph} edge identifiers. *)
+
+type t
+(** An immutable topology. *)
+
+val create : ?phy:Wsn_radio.Phy.t -> Point.t array -> t
+(** [create positions] derives all feasible links under [phy]
+    (default {!Wsn_radio.Phy.default}). *)
+
+val phy : t -> Wsn_radio.Phy.t
+(** The PHY in force. *)
+
+val graph : t -> Wsn_graph.Digraph.t
+(** The link graph (do not mutate). *)
+
+val n_nodes : t -> int
+(** Number of nodes. *)
+
+val n_links : t -> int
+(** Number of directed links. *)
+
+val position : t -> int -> Point.t
+(** [position t v] is node [v]'s coordinates.
+    @raise Invalid_argument if [v] is out of range. *)
+
+val node_distance : t -> int -> int -> float
+(** Euclidean distance between two nodes. *)
+
+val link : t -> int -> Wsn_graph.Digraph.edge
+(** Link lookup by identifier. *)
+
+val links : t -> Wsn_graph.Digraph.edge list
+(** All links in creation order. *)
+
+val link_distance : t -> int -> float
+(** [link_distance t l] is the transmitter–receiver distance of link
+    [l]. *)
+
+val alone_rate : t -> int -> Wsn_radio.Rate.t
+(** [alone_rate t l] is the fastest rate link [l] sustains alone; links
+    only exist when some rate qualifies. *)
+
+val alone_mbps : t -> int -> float
+(** [alone_mbps t l] is {!alone_rate} in Mbit/s. *)
+
+val is_connected : t -> bool
+(** Whether the link graph connects all nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary printer: node/link counts and per-link rates. *)

@@ -1,0 +1,1 @@
+lib/prng/pcg32.ml: Array Int32 Int64

@@ -1,0 +1,1 @@
+lib/prng/streams.ml: Char Int64 Pcg32 Splitmix64 String

@@ -1,0 +1,1 @@
+lib/prng/streams.mli: Pcg32

@@ -1,0 +1,77 @@
+type t = { mutable state : int64; increment : int64 }
+
+let multiplier = 6364136223846793005L
+
+let default_sequence = 0xda3e39cb94b95bdbL
+
+let step g = g.state <- Int64.add (Int64.mul g.state multiplier) g.increment
+
+let create ?(sequence = default_sequence) seed =
+  (* Standard PCG32 seeding: force the increment odd, absorb the seed. *)
+  let increment = Int64.logor (Int64.shift_left sequence 1) 1L in
+  let g = { state = 0L; increment } in
+  step g;
+  g.state <- Int64.add g.state seed;
+  step g;
+  g
+
+let copy g = { state = g.state; increment = g.increment }
+
+let output state =
+  let xorshifted =
+    Int64.to_int32
+      (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical state 18) state) 27)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical state 59) in
+  let left = Int32.shift_left xorshifted ((32 - rot) land 31) in
+  let right = Int32.shift_right_logical xorshifted rot in
+  Int32.logor right left
+
+let next_int32 g =
+  let old = g.state in
+  step g;
+  output old
+
+let mask32 = 0xFFFFFFFFL
+
+let next_int64 g =
+  let hi = Int64.logand (Int64.of_int32 (next_int32 g)) mask32 in
+  let lo = Int64.logand (Int64.of_int32 (next_int32 g)) mask32 in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+let next_float g =
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let next_below g n =
+  if n <= 0 then invalid_arg "Pcg32.next_below: n must be positive";
+  let bound = Int64.of_int n in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 g) 2 in
+    let max = 0x3FFFFFFFFFFFFFFFL in
+    let limit = Int64.sub max (Int64.rem (Int64.add (Int64.rem max bound) 1L) bound) in
+    if Int64.unsigned_compare raw limit <= 0 then Int64.to_int (Int64.rem raw bound)
+    else draw ()
+  in
+  draw ()
+
+let uniform g lo hi =
+  if hi < lo then invalid_arg "Pcg32.uniform: hi < lo";
+  lo +. ((hi -. lo) *. next_float g)
+
+let exponential g rate =
+  if rate <= 0.0 then invalid_arg "Pcg32.exponential: rate must be positive";
+  let u = next_float g in
+  -.log (1.0 -. u) /. rate
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = next_below g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Pcg32.pick: empty array";
+  a.(next_below g (Array.length a))

@@ -1,0 +1,43 @@
+(** PCG32 pseudo-random number generator (XSH-RR 64/32 variant).
+
+    O'Neill's permuted congruential generator: 64-bit LCG state with an
+    output permutation.  Offers multiple independent streams selected by
+    the sequence parameter, which the workload generators use to draw
+    topology, traffic and simulation randomness from provably disjoint
+    streams of one master seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?sequence:int64 -> int64 -> t
+(** [create ?sequence seed] builds a generator.  Distinct [sequence]
+    values yield independent streams even under equal seeds.  The default
+    sequence is [0xda3e39cb94b95bdbL]. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val next_int32 : t -> int32
+(** [next_int32 g] advances [g] and returns 32 uniformly random bits. *)
+
+val next_float : t -> float
+(** [next_float g] is uniform in [\[0, 1)] built from two 32-bit draws. *)
+
+val next_below : t -> int -> int
+(** [next_below g n] is uniform in [\[0, n)], bias-free.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform in [\[lo, hi)].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val exponential : t -> float -> float
+(** [exponential g rate] draws from Exp([rate]) by inversion.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place uniformly (Fisher–Yates). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick g a] is a uniformly random element of [a].
+    @raise Invalid_argument if [a] is empty. *)

@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* Mixing function from the SplitMix64 reference implementation. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let next_float g =
+  (* Use the top 53 bits for a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let next_below g n =
+  if n <= 0 then invalid_arg "Splitmix64.next_below: n must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let bound = Int64.of_int n in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 g) 2 in
+    let max = 0x3FFFFFFFFFFFFFFFL in
+    let limit = Int64.sub max (Int64.rem (Int64.add (Int64.rem max bound) 1L) bound) in
+    if Int64.unsigned_compare raw limit <= 0 then Int64.to_int (Int64.rem raw bound)
+    else draw ()
+  in
+  draw ()
+
+let split g =
+  let seed = next_int64 g in
+  create (mix seed)

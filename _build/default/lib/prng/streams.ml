@@ -1,0 +1,19 @@
+type t = { master : int64 }
+
+let create master = { master }
+
+let seed t = t.master
+
+(* FNV-1a 64-bit hash of the stream name; feeds the PCG32 sequence
+   parameter so that streams with distinct names never collide. *)
+let fnv1a name =
+  let offset = 0xCBF29CE484222325L in
+  let prime = 0x100000001B3L in
+  let h = ref offset in
+  String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) name;
+  !h
+
+let stream t name =
+  let sequence = fnv1a name in
+  let sm = Splitmix64.create (Int64.logxor t.master sequence) in
+  Pcg32.create ~sequence (Splitmix64.next_int64 sm)

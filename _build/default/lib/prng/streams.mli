@@ -1,0 +1,21 @@
+(** Named independent random streams derived from one master seed.
+
+    Each experiment owns a master seed; every randomised component
+    (topology placement, flow endpoints, MAC backoff, ...) draws from its
+    own named stream, so adding randomness to one component never
+    perturbs another.  Stream derivation hashes the component name into
+    the PCG32 sequence parameter. *)
+
+type t
+(** A master seed from which streams are derived. *)
+
+val create : int64 -> t
+(** [create seed] fixes the master seed. *)
+
+val seed : t -> int64
+(** [seed t] returns the master seed (for logging and provenance). *)
+
+val stream : t -> string -> Pcg32.t
+(** [stream t name] is a fresh generator for component [name].  Calling
+    it twice with the same name returns generators with identical
+    streams; distinct names give independent streams. *)

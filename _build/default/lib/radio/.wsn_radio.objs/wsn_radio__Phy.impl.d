@@ -1,0 +1,1 @@
+lib/radio/phy.ml: Array Float List Propagation Rate

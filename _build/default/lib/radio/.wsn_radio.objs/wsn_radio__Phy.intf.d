@@ -1,0 +1,1 @@
+lib/radio/phy.mli: Propagation Rate

@@ -1,0 +1,1 @@
+lib/radio/propagation.ml: Float

@@ -1,0 +1,1 @@
+lib/radio/rate.ml: Array Format Fun List

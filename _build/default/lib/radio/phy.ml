@@ -1,0 +1,67 @@
+type t = {
+  rates : Rate.table;
+  propagation : Propagation.t;
+  tx_power : float;
+  noise_power : float;
+  sensitivities : float array;
+  cs_threshold : float;
+  cs_range : float;
+}
+
+let create ?propagation ?(cs_range_factor = 1.4) rates =
+  if cs_range_factor < 1.0 then invalid_arg "Phy.create: cs_range_factor < 1.0";
+  let propagation = match propagation with Some p -> p | None -> Propagation.create () in
+  let tx_power = 1.0 in
+  let sensitivities =
+    Array.init (Rate.n_rates rates) (fun r ->
+        Propagation.received_power propagation ~tx_power (Rate.range_m rates r))
+  in
+  (* Noise low enough that SNR at every alone-range boundary meets the
+     requirement: P_n = min_r sensitivity(r) / snr(r). *)
+  let noise_power =
+    List.fold_left
+      (fun acc r -> Float.min acc (sensitivities.(r) /. Rate.snr_linear rates r))
+      infinity (Rate.all rates)
+  in
+  let cs_range = cs_range_factor *. Rate.range_m rates (Rate.slowest rates) in
+  let cs_threshold = Propagation.received_power propagation ~tx_power cs_range in
+  { rates; propagation; tx_power; noise_power; sensitivities; cs_threshold; cs_range }
+
+let default = create Rate.dot11a
+
+let rates t = t.rates
+
+let propagation t = t.propagation
+
+let tx_power t = t.tx_power
+
+let noise_power t = t.noise_power
+
+let sensitivity t r =
+  if r < 0 || r >= Array.length t.sensitivities then invalid_arg "Phy.sensitivity: rate out of range";
+  t.sensitivities.(r)
+
+let cs_range t = t.cs_range
+
+let received_power t d = Propagation.received_power t.propagation ~tx_power:t.tx_power d
+
+let sinr t ~signal_distance ~interferer_distances =
+  let signal = received_power t signal_distance in
+  let interference =
+    List.fold_left (fun acc d -> acc +. received_power t d) 0.0 interferer_distances
+  in
+  signal /. (interference +. t.noise_power)
+
+let best_rate_alone t d =
+  let signal = received_power t d in
+  let snr = signal /. t.noise_power in
+  Rate.best_supported t.rates ~snr ~received_over_sensitivity:(fun r ->
+      signal >= t.sensitivities.(r))
+
+let best_rate_under t ~signal_distance ~interferer_distances =
+  let signal = received_power t signal_distance in
+  let ratio = sinr t ~signal_distance ~interferer_distances in
+  Rate.best_supported t.rates ~snr:ratio ~received_over_sensitivity:(fun r ->
+      signal >= t.sensitivities.(r))
+
+let carrier_sensed t d = received_power t d >= t.cs_threshold

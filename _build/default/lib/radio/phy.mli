@@ -1,0 +1,68 @@
+(** The physical layer: transmit power, noise, sensitivity and SINR.
+
+    Bundles a {!Rate.table} with a {!Propagation.t} and fixes the free
+    parameters so that the paper's table is self-consistent:
+
+    - transmit power is normalised to [1.0];
+    - the receiver sensitivity of rate [r] is the received power at that
+      rate's published alone-range, [RX_se(r) = gain(range_m r)], making
+      the published ranges exact by construction (Equation 1, first
+      condition);
+    - noise power is set low enough that at every rate's alone-range the
+      SNR strictly exceeds that rate's requirement, so the sensitivity
+      condition is the binding one in the interference-free case.  The
+      binding rate under the paper's numbers is 54 Mbps;
+    - the carrier-sense threshold defaults to the power received at
+      [cs_range_factor] (default 1.4) times the slowest rate's range,
+      ≈221 m for the 802.11a table — nodes farther than that are not
+      heard. *)
+
+type t
+(** An immutable PHY configuration. *)
+
+val create : ?propagation:Propagation.t -> ?cs_range_factor:float -> Rate.table -> t
+(** [create tbl] derives all powers from the rate table as described
+    above.
+    @raise Invalid_argument if [cs_range_factor < 1.0]. *)
+
+val default : t
+(** [create Rate.dot11a] with the paper's propagation (exponent 4). *)
+
+val rates : t -> Rate.table
+(** The rate table in force. *)
+
+val propagation : t -> Propagation.t
+(** The propagation model in force. *)
+
+val tx_power : t -> float
+(** Normalised transmit power (1.0). *)
+
+val noise_power : t -> float
+(** Derived thermal-noise power. *)
+
+val sensitivity : t -> Rate.t -> float
+(** [sensitivity t r] is the minimum received power for rate [r]. *)
+
+val cs_range : t -> float
+(** Carrier-sense distance: transmissions from within are heard. *)
+
+val received_power : t -> float -> float
+(** [received_power t d] is the power received at distance [d] from a
+    transmitter at standard power. *)
+
+val sinr : t -> signal_distance:float -> interferer_distances:float list -> float
+(** [sinr t ~signal_distance ~interferer_distances] evaluates
+    Equation (3): received signal power over the sum of interferer
+    powers plus noise. *)
+
+val best_rate_alone : t -> float -> Rate.t option
+(** Fastest rate sustainable over distance [d] with no interference
+    (both conditions of Equation 1), or [None] when out of range. *)
+
+val best_rate_under : t -> signal_distance:float -> interferer_distances:float list -> Rate.t option
+(** Fastest rate sustainable given concurrent interferers at the given
+    distances from the receiver, or [None]. *)
+
+val carrier_sensed : t -> float -> bool
+(** [carrier_sensed t d] is whether a node hears a standard-power
+    transmitter at distance [d]. *)

@@ -1,0 +1,19 @@
+type t = { exponent : float; reference_distance : float }
+
+let create ?(exponent = 4.0) ?(reference_distance = 1.0) () =
+  if exponent <= 0.0 then invalid_arg "Propagation.create: exponent must be positive";
+  if reference_distance <= 0.0 then
+    invalid_arg "Propagation.create: reference distance must be positive";
+  { exponent; reference_distance }
+
+let exponent t = t.exponent
+
+let gain t d =
+  let d = Float.max d t.reference_distance in
+  1.0 /. (d ** t.exponent)
+
+let received_power t ~tx_power d = tx_power *. gain t d
+
+let db_of_ratio x = 10.0 *. log10 x
+
+let ratio_of_db x = 10.0 ** (x /. 10.0)

@@ -1,0 +1,32 @@
+(** Log-distance path-loss propagation.
+
+    The paper's evaluation uses a plain power-law model with propagation
+    exponent 4: received power decays as [d^-4].  Powers here are linear
+    (arbitrary units); dB helpers convert for display. *)
+
+type t
+(** A propagation model. *)
+
+val create : ?exponent:float -> ?reference_distance:float -> unit -> t
+(** [create ()] is the paper's model: exponent [4.0], reference distance
+    [1.0] m (no near-field clamping below it other than treating closer
+    distances as the reference).
+    @raise Invalid_argument if [exponent <= 0] or
+    [reference_distance <= 0]. *)
+
+val exponent : t -> float
+(** Path-loss exponent. *)
+
+val gain : t -> float -> float
+(** [gain t d] is the channel gain at distance [d] metres, i.e. received
+    power per unit transmit power.  Distances below the reference
+    distance are clamped to it. *)
+
+val received_power : t -> tx_power:float -> float -> float
+(** [received_power t ~tx_power d] is [tx_power *. gain t d]. *)
+
+val db_of_ratio : float -> float
+(** [db_of_ratio x] is [10 log10 x]. *)
+
+val ratio_of_db : float -> float
+(** [ratio_of_db x] is [10^(x/10)]. *)

@@ -1,0 +1,66 @@
+type spec = { mbps : float; range_m : float; snr_db : float }
+
+type table = spec array
+
+type t = int
+
+let db_to_linear db = 10.0 ** (db /. 10.0)
+
+let make_table specs =
+  if specs = [] then invalid_arg "Rate.make_table: empty table";
+  let arr = Array.of_list specs in
+  for i = 0 to Array.length arr - 2 do
+    if arr.(i).mbps <= arr.(i + 1).mbps then
+      invalid_arg "Rate.make_table: rates must strictly decrease";
+    if arr.(i).range_m >= arr.(i + 1).range_m then
+      invalid_arg "Rate.make_table: ranges must strictly increase"
+  done;
+  arr
+
+let dot11a =
+  make_table
+    [
+      { mbps = 54.0; range_m = 59.0; snr_db = 24.56 };
+      { mbps = 36.0; range_m = 79.0; snr_db = 18.80 };
+      { mbps = 18.0; range_m = 119.0; snr_db = 10.79 };
+      { mbps = 6.0; range_m = 158.0; snr_db = 6.02 };
+    ]
+
+let chain_36_54 =
+  make_table
+    [
+      { mbps = 54.0; range_m = 59.0; snr_db = 24.56 };
+      { mbps = 36.0; range_m = 79.0; snr_db = 18.80 };
+    ]
+
+let n_rates tbl = Array.length tbl
+
+let all tbl = List.init (Array.length tbl) Fun.id
+
+let spec tbl r =
+  if r < 0 || r >= Array.length tbl then invalid_arg "Rate.spec: rate out of range";
+  tbl.(r)
+
+let mbps tbl r = (spec tbl r).mbps
+
+let range_m tbl r = (spec tbl r).range_m
+
+let snr_linear tbl r = db_to_linear (spec tbl r).snr_db
+
+let fastest _tbl = 0
+
+let slowest tbl = Array.length tbl - 1
+
+let best_at_distance tbl d =
+  let rec scan r = if r >= Array.length tbl then None else if d <= tbl.(r).range_m then Some r else scan (r + 1) in
+  scan 0
+
+let best_supported tbl ~snr ~received_over_sensitivity =
+  let rec scan r =
+    if r >= Array.length tbl then None
+    else if snr >= snr_linear tbl r && received_over_sensitivity r then Some r
+    else scan (r + 1)
+  in
+  scan 0
+
+let pp tbl fmt r = Format.fprintf fmt "%gMbps" (mbps tbl r)

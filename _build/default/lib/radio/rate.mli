@@ -1,0 +1,77 @@
+(** Discrete channel rates and the paper's 802.11a rate table.
+
+    Section 5.2 of the paper uses four 802.11a rates with transmission
+    distances and SNR requirements taken from Yee & Pezeshki-Esfahani:
+
+    {v
+      rate (Mbps)   range (m)   SNR requirement (dB)
+          54           59            24.56
+          36           79            18.80
+          18          119            10.79
+           6          158             6.02
+    v}
+
+    A rate is an index into a {!table}; keeping rates as indices makes
+    rate vectors compact and comparisons exact (no float identity). *)
+
+type spec = {
+  mbps : float;  (** Data rate in Mbit/s. *)
+  range_m : float;  (** Maximum transmission distance when alone, metres. *)
+  snr_db : float;  (** Required signal-to-interference-plus-noise ratio, dB. *)
+}
+
+type table
+(** An ordered set of rate specs, fastest first. *)
+
+type t = int
+(** A rate: index into a table; [0] is the fastest. *)
+
+val make_table : spec list -> table
+(** [make_table specs] validates and orders the specs.
+    @raise Invalid_argument if specs are empty, or rates are not
+    strictly decreasing in mbps and increasing in range. *)
+
+val dot11a : table
+(** The paper's four-rate 802.11a table above. *)
+
+val chain_36_54 : table
+(** The two-rate table \{36, 54 Mbps\} used by the four-link chain of
+    Fig. 1 (Scenario II); ranges/SNR follow the 802.11a entries. *)
+
+val n_rates : table -> int
+(** Number of rates. *)
+
+val all : table -> t list
+(** All rates, fastest first. *)
+
+val spec : table -> t -> spec
+(** [spec tbl r] looks up a rate's parameters.
+    @raise Invalid_argument if [r] is out of range. *)
+
+val mbps : table -> t -> float
+(** Data rate of [r] in Mbit/s. *)
+
+val range_m : table -> t -> float
+(** Alone transmission range of [r] in metres. *)
+
+val snr_linear : table -> t -> float
+(** Required SINR of [r] as a linear power ratio. *)
+
+val fastest : table -> t
+(** The highest-rate entry (index 0). *)
+
+val slowest : table -> t
+(** The lowest-rate entry. *)
+
+val best_at_distance : table -> float -> t option
+(** [best_at_distance tbl d] is the fastest rate whose alone range
+    covers distance [d], or [None] if even the slowest cannot. *)
+
+val best_supported : table -> snr:float -> received_over_sensitivity:(t -> bool) -> t option
+(** [best_supported tbl ~snr ~received_over_sensitivity] is the fastest
+    rate [r] with [snr ≥] its requirement and
+    [received_over_sensitivity r]; [None] if no rate qualifies.  This is
+    Equation (1) of the paper. *)
+
+val pp : table -> Format.formatter -> t -> unit
+(** Prints e.g. [54Mbps]. *)

@@ -1,0 +1,1 @@
+lib/routing/admission.ml: List Metrics Qos_routing Router Wsn_availbw Wsn_conflict Wsn_net Wsn_sched

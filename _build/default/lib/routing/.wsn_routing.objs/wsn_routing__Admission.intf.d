@@ -1,0 +1,1 @@
+lib/routing/admission.mli: Metrics Qos_routing Wsn_availbw Wsn_conflict Wsn_net Wsn_sched

@@ -1,0 +1,1 @@
+lib/routing/metrics.ml: Format Wsn_graph Wsn_net

@@ -1,0 +1,1 @@
+lib/routing/metrics.mli: Format Wsn_graph Wsn_net

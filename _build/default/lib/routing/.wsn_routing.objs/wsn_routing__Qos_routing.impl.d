@@ -1,0 +1,1 @@
+lib/routing/qos_routing.ml: Array Float List Metrics Option Printf Router Wsn_availbw Wsn_conflict Wsn_net Wsn_sched

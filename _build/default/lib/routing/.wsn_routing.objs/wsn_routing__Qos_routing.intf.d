@@ -1,0 +1,1 @@
+lib/routing/qos_routing.mli: Wsn_availbw Wsn_conflict Wsn_net Wsn_sched

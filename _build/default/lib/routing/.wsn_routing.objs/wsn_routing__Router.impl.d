@@ -1,0 +1,1 @@
+lib/routing/router.ml: List Metrics Option Wsn_graph Wsn_net

@@ -1,0 +1,1 @@
+lib/routing/router.mli: Metrics Wsn_net

@@ -1,0 +1,56 @@
+(** Bandwidth-aware route selection (Section 4's proposal to use
+    available-bandwidth estimates as routing metrics).
+
+    Additive metrics ({!Metrics}) rank single links; the clique-based
+    estimators of the paper rank whole paths.  This module generates [k]
+    loop-free candidate routes (Yen under the e2eTD metric) and selects
+    among them:
+
+    - {!Estimator_select}: by a distributed estimator of the candidate's
+      available bandwidth — what a real protocol could compute from
+      carrier-sense measurements (the paper proposes the conservative
+      clique constraint, Equation 13, as the best such metric);
+    - {!Oracle_select}: by the LP ground truth (Equation 6) — not
+      implementable distributedly, but an upper baseline showing how
+      much the estimator leaves on the table. *)
+
+type estimator =
+  | Bottleneck  (** Equation 10. *)
+  | Clique_constraint  (** Equation 11. *)
+  | Min_clique_bottleneck  (** Equation 12. *)
+  | Conservative  (** Equation 13 (the paper's recommendation). *)
+  | Expected_clique_time  (** Equation 15. *)
+
+type strategy =
+  | Estimator_select of { k : int; estimator : estimator }
+  | Oracle_select of { k : int }
+
+val estimator_name : estimator -> string
+(** Short display name, e.g. ["conservative(13)"]. *)
+
+val strategy_name : strategy -> string
+(** e.g. ["select-conservative(13)-k4"] or ["oracle-k4"]. *)
+
+val estimate_path :
+  Wsn_net.Topology.t ->
+  Wsn_conflict.Model.t ->
+  schedule:Wsn_sched.Schedule.t ->
+  estimator ->
+  int list ->
+  float
+(** [estimate_path topo model ~schedule est path] evaluates one
+    estimator on a path: rates are the links' alone rates, idleness
+    comes from carrier-sensing the background [schedule], cliques are
+    the path's local interference cliques.
+    @raise Invalid_argument on an empty path. *)
+
+val find_path :
+  Wsn_net.Topology.t ->
+  Wsn_conflict.Model.t ->
+  background:Wsn_availbw.Flow.t list ->
+  strategy:strategy ->
+  source:int ->
+  target:int ->
+  int list option
+(** Pick the candidate with the largest score (ties: fewer hops, then
+    candidate order); [None] when no route exists. *)

@@ -1,0 +1,15 @@
+module Topology = Wsn_net.Topology
+module Dijkstra = Wsn_graph.Dijkstra
+module Yen = Wsn_graph.Yen
+module Path = Wsn_graph.Path
+module Digraph = Wsn_graph.Digraph
+
+let link_ids path = List.map (fun e -> e.Digraph.id) path
+
+let find_path topo ~metric ~idleness ~source ~target =
+  let weight = Metrics.weight topo ~idleness metric in
+  Option.map link_ids (Dijkstra.shortest_path (Topology.graph topo) ~weight ~source ~target)
+
+let candidate_paths topo ~metric ~idleness ~source ~target ~k =
+  let weight = Metrics.weight topo ~idleness metric in
+  List.map link_ids (Yen.k_shortest_paths (Topology.graph topo) ~weight ~source ~target ~k)

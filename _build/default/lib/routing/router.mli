@@ -1,0 +1,23 @@
+(** Metric-driven path search over a topology. *)
+
+val find_path :
+  Wsn_net.Topology.t ->
+  metric:Metrics.t ->
+  idleness:(int -> float) ->
+  source:int ->
+  target:int ->
+  int list option
+(** [find_path topo ~metric ~idleness ~source ~target] is the link-id
+    sequence of a minimum-cost path, or [None] when no finite-cost
+    route exists. *)
+
+val candidate_paths :
+  Wsn_net.Topology.t ->
+  metric:Metrics.t ->
+  idleness:(int -> float) ->
+  source:int ->
+  target:int ->
+  k:int ->
+  int list list
+(** Up to [k] loop-free candidate routes in metric order (Yen), as
+    link-id sequences.  Used by bandwidth-aware route selection. *)

@@ -1,0 +1,1 @@
+lib/sched/idleness.ml: Float List Schedule Wsn_graph Wsn_net Wsn_radio

@@ -1,0 +1,1 @@
+lib/sched/idleness.mli: Schedule Wsn_net

@@ -1,0 +1,1 @@
+lib/sched/quantize.ml: Array Float Fun List Schedule

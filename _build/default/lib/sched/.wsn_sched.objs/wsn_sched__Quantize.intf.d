@@ -1,0 +1,1 @@
+lib/sched/quantize.mli: Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Format List Wsn_conflict Wsn_radio

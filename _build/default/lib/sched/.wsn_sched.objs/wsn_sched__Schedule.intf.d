@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Wsn_conflict Wsn_radio

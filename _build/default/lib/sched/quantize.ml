@@ -1,0 +1,47 @@
+(* Largest-remainder apportionment of shares into [slots] equal slots,
+   indexed so that identical activations are kept distinct. *)
+let slot_counts s ~slots =
+  if slots <= 0 then invalid_arg "Quantize: slots must be positive";
+  let activations = Array.of_list (Schedule.slots s) in
+  let n = float_of_int slots in
+  let exact = Array.map (fun (a : Schedule.slot) -> a.Schedule.share *. n) activations in
+  let counts = Array.map (fun e -> int_of_float (Float.floor (e +. 1e-9))) exact in
+  let used = Array.fold_left ( + ) 0 counts in
+  (* Total target: the fractional schedule's airtime, never above one
+     frame. *)
+  let target =
+    min slots
+      (int_of_float (Float.floor ((Float.min 1.0 (Schedule.total_share s) *. n) +. 1e-9)))
+  in
+  let leftovers = max 0 (target - used) in
+  let order = Array.init (Array.length activations) Fun.id in
+  Array.sort
+    (fun i j ->
+      let ri = exact.(i) -. float_of_int counts.(i) in
+      let rj = exact.(j) -. float_of_int counts.(j) in
+      match Float.compare rj ri with 0 -> compare i j | c -> c)
+    order;
+  Array.iteri (fun rank i -> if rank < leftovers then counts.(i) <- counts.(i) + 1) order;
+  Array.to_list (Array.map2 (fun a k -> (a, k)) activations counts)
+
+let tdma s ~slots =
+  let n = float_of_int slots in
+  Schedule.make
+    (List.filter_map
+       (fun ((a : Schedule.slot), k) ->
+         if k = 0 then None else Some { a with Schedule.share = float_of_int k /. n })
+       (slot_counts s ~slots))
+
+let frame s ~slots =
+  let layout = Array.make slots None in
+  let cursor = ref 0 in
+  List.iter
+    (fun ((a : Schedule.slot), k) ->
+      for _ = 1 to k do
+        if !cursor < slots then begin
+          layout.(!cursor) <- Some a;
+          incr cursor
+        end
+      done)
+    (slot_counts s ~slots);
+  layout

@@ -1,0 +1,21 @@
+(** TDMA quantisation of fractional schedules.
+
+    The LP's optimal schedule assigns real-valued time shares; a real
+    coordinator runs a periodic frame of [n] equal slots.  This module
+    rounds a fractional schedule to slot counts by largest-remainder
+    apportionment: each activation receives [⌊λ·n⌋] slots, and the
+    leftover slots go to the activations with the largest fractional
+    remainders (never exceeding [n] total).  Throughput loss per link is
+    at most one slot's worth, so the quantised schedule converges to the
+    fractional one as [n] grows. *)
+
+val tdma : Schedule.t -> slots:int -> Schedule.t
+(** [tdma s ~slots] is the quantised schedule: every share a multiple of
+    [1/slots], totalling at most [min 1 (total_share s)] rounded to the
+    frame.  Slot-starved activations (share rounding to 0) disappear.
+    @raise Invalid_argument if [slots <= 0]. *)
+
+val frame : Schedule.t -> slots:int -> Schedule.slot option array
+(** [frame s ~slots] lays the quantised schedule out as an explicit
+    frame: index [i] holds the activation of slot [i] ([None] = idle
+    slot).  Activations occupy contiguous runs in schedule order. *)

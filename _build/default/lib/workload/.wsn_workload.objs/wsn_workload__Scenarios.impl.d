@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: List Wsn_availbw Wsn_conflict Wsn_net Wsn_prng Wsn_radio Wsn_sched

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Wsn_availbw Wsn_conflict Wsn_net Wsn_radio Wsn_sched

@@ -1,0 +1,103 @@
+module Rate = Wsn_radio.Rate
+module Model = Wsn_conflict.Model
+module Schedule = Wsn_sched.Schedule
+module Flow = Wsn_availbw.Flow
+module Generator = Wsn_net.Generator
+module Streams = Wsn_prng.Streams
+
+module Scenario_i = struct
+  let rate_mbps = 54.0
+
+  (* A one-rate table: range/SNR values are irrelevant to a declared
+     model but must be well-formed. *)
+  let table = Rate.make_table [ { Rate.mbps = rate_mbps; range_m = 59.0; snr_db = 24.56 } ]
+
+  let the_rate = 0
+
+  let model =
+    Model.declared ~n_links:3 ~rates:table
+      ~alone_rates:(fun _ -> [ the_rate ])
+      ~interferes:(fun (l1, _) (l2, _) ->
+        (* Link 2 interferes with both others; links 0 and 1 are
+           mutually independent. *)
+        l1 = 2 || l2 = 2)
+
+  let check_lambda lambda =
+    if lambda < 0.0 || lambda > 0.5 then invalid_arg "Scenario_i: lambda must be in [0, 0.5]"
+
+  let background ~lambda =
+    check_lambda lambda;
+    [
+      Flow.make ~path:[ 0 ] ~demand_mbps:(lambda *. rate_mbps);
+      Flow.make ~path:[ 1 ] ~demand_mbps:(lambda *. rate_mbps);
+    ]
+
+  let new_path = [ 2 ]
+
+  let naive_schedule ~lambda =
+    check_lambda lambda;
+    Schedule.make
+      [
+        { Schedule.links = [ 0 ]; rates = [ the_rate ]; share = lambda };
+        { Schedule.links = [ 1 ]; rates = [ the_rate ]; share = lambda };
+      ]
+
+  let idle_time_estimate ~lambda =
+    check_lambda lambda;
+    (1.0 -. (2.0 *. lambda)) *. rate_mbps
+
+  let optimal_bandwidth ~lambda =
+    check_lambda lambda;
+    (1.0 -. lambda) *. rate_mbps
+end
+
+module Scenario_ii = struct
+  let table = Rate.chain_36_54
+
+  let rate_54 = 0
+
+  let rate_36 = 1
+
+  (* Interference by fiat (Section 3.1): any two of {0,1,2} interfere at
+     every rate; likewise {1,2,3}; links 0 and 3 interfere iff link 0
+     uses 54 Mbit/s. *)
+  let interferes (l1, r1) (l2, r2) =
+    let lo = min l1 l2 and hi = max l1 l2 in
+    let lo_rate = if lo = l1 then r1 else r2 in
+    if lo = hi then true
+    else if hi <= 2 then true (* both in {0,1,2} *)
+    else if lo >= 1 then true (* both in {1,2,3} *)
+    else (* pair (0, 3) *) lo_rate = rate_54
+
+  let model =
+    Model.declared ~n_links:4 ~rates:table
+      ~alone_rates:(fun _ -> [ rate_54; rate_36 ])
+      ~interferes
+
+  let path = [ 0; 1; 2; 3 ]
+
+  let paper_optimum = 16.2
+
+  let paper_fixed_rate_bounds = (13.5, 108.0 /. 7.0)
+end
+
+module Random_scenario = struct
+  type t = {
+    topology : Wsn_net.Topology.t;
+    model : Model.t;
+    flows : (int * int * float) list;
+  }
+
+  let generate ?(config = Generator.paper_config) ?(n_flows = 8) ?(demand_mbps = 2.0) ~seed () =
+    let streams = Streams.create seed in
+    let topology = Generator.connected_topology (Streams.stream streams "topology") config in
+    let pairs =
+      Generator.random_pairs (Streams.stream streams "flows") ~n_nodes:config.Generator.n_nodes
+        ~count:n_flows
+    in
+    {
+      topology;
+      model = Model.physical topology;
+      flows = List.map (fun (s, d) -> (s, d, demand_mbps)) pairs;
+    }
+end

@@ -1,0 +1,80 @@
+(** The paper's hand-built topologies (Fig. 1) and the random scenario
+    of Section 5.2.
+
+    Scenario I and II are specified by fiat (which link interferes with
+    which, at which rates), so they use the declared conflict model;
+    the random scenario is geometric and uses the physical model. *)
+
+(** {1 Scenario I — three links (Section 1)} *)
+
+module Scenario_i : sig
+  val rate_mbps : float
+  (** Single channel rate used by all three links (54 Mbit/s). *)
+
+  val model : Wsn_conflict.Model.t
+  (** Links 0 and 1 do not interfere with each other; link 2 interferes
+      with (and hears) both. *)
+
+  val background : lambda:float -> Wsn_availbw.Flow.t list
+  (** Background traffic: a time share [lambda] of the channel rate on
+      link 0 and on link 1.
+      @raise Invalid_argument unless [0 ≤ lambda ≤ 0.5]. *)
+
+  val new_path : int list
+  (** The one-hop path over link 2. *)
+
+  val naive_schedule : lambda:float -> Wsn_sched.Schedule.t
+  (** The background schedule an uncoordinated 802.11 MAC produces
+      before the new flow arrives: links 0 and 1 in {e disjoint} slots.
+      Under it link 2 senses a busy channel for [2·lambda] of the time. *)
+
+  val idle_time_estimate : lambda:float -> float
+  (** The channel-idle-time estimate of link 2's available bandwidth
+      under {!naive_schedule}: [(1 - 2·lambda) · rate]. *)
+
+  val optimal_bandwidth : lambda:float -> float
+  (** The true optimum [(1 - lambda) · rate] (the paper's observation
+      that an optimal scheduler overlaps the two background shares). *)
+end
+
+(** {1 Scenario II — four-link chain (Sections 3.1 and 5.1)} *)
+
+module Scenario_ii : sig
+  val model : Wsn_conflict.Model.t
+  (** Four links, each supporting 36 and 54 Mbit/s alone.  Any two of
+      links \{0,1,2\} interfere at every rate, and likewise \{1,2,3\};
+      links 0 and 3 interfere iff link 0 transmits at 54 Mbit/s. *)
+
+  val path : int list
+  (** The four-hop flow [0; 1; 2; 3]. *)
+
+  val rate_54 : Wsn_radio.Rate.t
+  (** Index of 54 Mbit/s in the scenario's table. *)
+
+  val rate_36 : Wsn_radio.Rate.t
+  (** Index of 36 Mbit/s in the scenario's table. *)
+
+  val paper_optimum : float
+  (** The end-to-end optimum reported by the paper: 16.2 Mbit/s. *)
+
+  val paper_fixed_rate_bounds : float * float
+  (** Clique upper bounds under the two fixed rate vectors
+      [R₁ = (54,54,54,54)] and [R₂ = (36,54,54,54)]:
+      13.5 and 108/7 ≈ 15.43 Mbit/s (Equation 7). *)
+end
+
+(** {1 Random scenario — Section 5.2} *)
+
+module Random_scenario : sig
+  type t = {
+    topology : Wsn_net.Topology.t;
+    model : Wsn_conflict.Model.t;
+    flows : (int * int * float) list;  (** (source, destination, demand in Mbit/s). *)
+  }
+
+  val generate : ?config:Wsn_net.Generator.config -> ?n_flows:int -> ?demand_mbps:float -> seed:int64 -> unit -> t
+  (** [generate ~seed ()] reproduces the paper's setup: 30 nodes in
+      400 m × 600 m under the 802.11a PHY, with [n_flows] (default 8)
+      random source–destination pairs each demanding [demand_mbps]
+      (default 2.0).  Deterministic in [seed]. *)
+end

@@ -1,0 +1,1 @@
+test/test_availbw.ml: Alcotest Float Int64 List Printf QCheck QCheck_alcotest Wsn_availbw Wsn_conflict Wsn_experiments Wsn_prng Wsn_sched Wsn_workload

@@ -1,0 +1,1 @@
+test/test_column_gen.ml: Alcotest Array Float Gen Int64 List QCheck QCheck_alcotest Wsn_availbw Wsn_conflict Wsn_experiments Wsn_net Wsn_prng Wsn_radio Wsn_sched Wsn_workload

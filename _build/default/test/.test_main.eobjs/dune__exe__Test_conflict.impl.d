@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Array Float Fun Int64 List QCheck QCheck_alcotest Wsn_availbw Wsn_conflict Wsn_experiments Wsn_graph Wsn_net Wsn_prng Wsn_radio Wsn_workload

@@ -1,0 +1,1 @@
+test/test_estimators.ml: Alcotest Array Float List QCheck QCheck_alcotest Wsn_availbw

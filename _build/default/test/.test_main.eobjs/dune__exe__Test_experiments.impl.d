@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Int64 List Printf Wsn_availbw Wsn_experiments Wsn_routing

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Format Fun Gen Hashtbl Int64 List QCheck QCheck_alcotest Wsn_graph Wsn_prng

@@ -1,0 +1,1 @@
+test/test_joint.ml: Alcotest List String Wsn_availbw Wsn_conflict Wsn_experiments Wsn_graph Wsn_net Wsn_sched

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Float Gen QCheck QCheck_alcotest Wsn_linalg

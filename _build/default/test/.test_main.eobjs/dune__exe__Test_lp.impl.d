@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Format Fun List QCheck QCheck_alcotest String Wsn_linalg Wsn_lp

@@ -1,0 +1,1 @@
+test/test_mac.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Wsn_graph Wsn_mac Wsn_net

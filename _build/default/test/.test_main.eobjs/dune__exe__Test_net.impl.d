@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Wsn_graph Wsn_net Wsn_prng Wsn_radio

@@ -1,0 +1,1 @@
+test/test_qos_routing.ml: Alcotest Array List Wsn_availbw Wsn_conflict Wsn_experiments Wsn_graph Wsn_net Wsn_routing Wsn_sched

@@ -1,0 +1,1 @@
+test/test_quantize.ml: Alcotest Array Float Gen List Option Printf QCheck QCheck_alcotest Wsn_availbw Wsn_conflict Wsn_sched Wsn_workload

@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest List Printf QCheck QCheck_alcotest Wsn_radio

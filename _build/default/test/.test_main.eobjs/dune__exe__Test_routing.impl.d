@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array List Printf Wsn_availbw Wsn_conflict Wsn_graph Wsn_net Wsn_routing Wsn_workload

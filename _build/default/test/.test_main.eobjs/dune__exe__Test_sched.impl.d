@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest List Printf Wsn_conflict Wsn_graph Wsn_net Wsn_sched Wsn_workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Wsn_availbw Wsn_conflict Wsn_net Wsn_workload

@@ -1,0 +1,333 @@
+(* Tests for Wsn_availbw: the Equation-6 LP, bounds, validity checker —
+   anchored on the paper's worked numbers. *)
+
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Bounds = Wsn_availbw.Bounds
+module Validity = Wsn_availbw.Validity
+module Schedule = Wsn_sched.Schedule
+module Model = Wsn_conflict.Model
+module Independent = Wsn_conflict.Independent
+module S1 = Wsn_workload.Scenarios.Scenario_i
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+module Hyp = Wsn_experiments.Hypothesis
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-6
+
+(* --- Flow ----------------------------------------------------------- *)
+
+let test_flow_validation () =
+  Alcotest.check_raises "empty path" (Invalid_argument "Flow.make: empty path") (fun () ->
+      ignore (Flow.make ~path:[] ~demand_mbps:1.0));
+  Alcotest.check_raises "repeated link" (Invalid_argument "Flow.make: repeated link in path")
+    (fun () -> ignore (Flow.make ~path:[ 1; 1 ] ~demand_mbps:1.0));
+  Alcotest.check_raises "negative demand" (Invalid_argument "Flow.make: negative demand")
+    (fun () -> ignore (Flow.make ~path:[ 1 ] ~demand_mbps:(-1.0)))
+
+let test_flow_accessors () =
+  let f1 = Flow.make ~path:[ 0; 2 ] ~demand_mbps:3.0 in
+  let f2 = Flow.make ~path:[ 2; 5 ] ~demand_mbps:4.0 in
+  check Alcotest.bool "uses" true (Flow.uses f1 2);
+  check float_tol "load_on shared link" 7.0 (Flow.load_on [ f1; f2 ] 2);
+  check float_tol "load_on private link" 3.0 (Flow.load_on [ f1; f2 ] 0);
+  check (Alcotest.list Alcotest.int) "union" [ 0; 2; 5 ] (Flow.union_links [ f1; f2 ])
+
+(* --- Scenario II: the 16.2 optimum ---------------------------------- *)
+
+let test_chain_optimum () =
+  let r = Path_bandwidth.path_capacity S2.model ~path:S2.path in
+  check float_tol "paper's 16.2" 16.2 r.Path_bandwidth.bandwidth_mbps;
+  (* The witness schedule must be genuinely executable and deliver f on
+     every link of the path. *)
+  check Alcotest.bool "witness feasible" true
+    (Schedule.is_feasible S2.model r.Path_bandwidth.schedule);
+  check Alcotest.bool "witness meets demands" true
+    (Schedule.meets_demands (Model.rates S2.model) r.Path_bandwidth.schedule
+       (List.map (fun l -> (l, 16.2)) S2.path))
+
+let test_chain_clique_violations () =
+  (* At the optimum the classical clique constraint fails for both rate
+     vectors: 1.2 and 1.05 (Section 5.1). *)
+  let throughput _ = 16.2 in
+  let t1 =
+    Validity.max_clique_time S2.model ~universe:S2.path ~throughput ~rate_of:(fun _ -> S2.rate_54)
+  in
+  check float_tol "1.2 at R1" 1.2 t1.Validity.max_clique_time;
+  check (Alcotest.list Alcotest.int) "worst clique at R1" [ 0; 1; 2; 3 ] t1.Validity.worst_clique;
+  let t2 =
+    Validity.max_clique_time S2.model ~universe:S2.path ~throughput
+      ~rate_of:(fun l -> if l = 0 then S2.rate_36 else S2.rate_54)
+  in
+  check float_tol "1.05 at R2" 1.05 t2.Validity.max_clique_time
+
+let test_chain_hypothesis_falsified () =
+  let rep =
+    Validity.hypothesis_min_max_time S2.model ~universe:S2.path ~throughput:(fun _ -> 16.2)
+  in
+  check float_tol "min over rate vectors still 1.05" 1.05 rep.Validity.max_clique_time
+
+let test_chain_eq7_bounds () =
+  let b1, b2 = S2.paper_fixed_rate_bounds in
+  check float_tol "13.5 at R1" b1
+    (Bounds.fixed_rate_clique_bound S2.model ~path:S2.path ~rate_of:(fun _ -> S2.rate_54));
+  check float_tol "108/7 at R2" b2
+    (Bounds.fixed_rate_clique_bound S2.model ~path:S2.path
+       ~rate_of:(fun l -> if l = 0 then S2.rate_36 else S2.rate_54))
+
+let test_chain_eq9_upper () =
+  match Bounds.upper_eq9 S2.model ~background:[] ~path:S2.path with
+  | Some ub ->
+    check Alcotest.bool "eq9 >= optimum" true (ub >= 16.2 -. 1e-6);
+    (* On this instance the Eq.9 bound is tight. *)
+    check float_tol "eq9 tight here" 16.2 ub
+  | None -> Alcotest.fail "eq9 must be feasible with no background"
+
+let test_chain_tdma_lower () =
+  match Bounds.singleton_lower_bound S2.model ~background:[] ~path:S2.path with
+  | Some lb -> check float_tol "pure TDMA gives 13.5" 13.5 lb
+  | None -> Alcotest.fail "TDMA bound must exist"
+
+(* --- Scenario I ----------------------------------------------------- *)
+
+let test_scenario1_overlap () =
+  List.iter
+    (fun lambda ->
+      match
+        Path_bandwidth.available S1.model ~background:(S1.background ~lambda) ~path:S1.new_path
+      with
+      | Some r ->
+        check float_tol
+          (Printf.sprintf "truth (1-l)r at %.2f" lambda)
+          (S1.optimal_bandwidth ~lambda) r.Path_bandwidth.bandwidth_mbps
+      | None -> Alcotest.fail "scenario I background is feasible")
+    [ 0.0; 0.1; 0.25; 0.5 ]
+
+let test_scenario1_naive_schedule () =
+  (* The uncoordinated schedule leaves only 1-2l idle at link 2's ends. *)
+  let s = S1.naive_schedule ~lambda:0.3 in
+  check float_tol "total airtime 0.6" 0.6 (Schedule.total_share s);
+  check Alcotest.bool "naive schedule is feasible" true (Schedule.is_feasible S1.model s);
+  check float_tol "estimate formula" 21.6 (S1.idle_time_estimate ~lambda:0.3)
+
+(* --- background handling -------------------------------------------- *)
+
+let test_available_with_background () =
+  (* Chain with 8 Mbps of background on link 1 (the second link). *)
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:8.0 ] in
+  match Path_bandwidth.available S2.model ~background ~path:S2.path with
+  | Some r ->
+    let f = r.Path_bandwidth.bandwidth_mbps in
+    check Alcotest.bool "positive residual" true (f > 0.0);
+    check Alcotest.bool "less than idle capacity" true (f < 16.2);
+    (* Witness must carry both background and f. *)
+    check Alcotest.bool "witness feasible" true
+      (Schedule.is_feasible S2.model r.Path_bandwidth.schedule);
+    check Alcotest.bool "witness covers all demands" true
+      (Schedule.meets_demands (Model.rates S2.model) r.Path_bandwidth.schedule
+         ((1, 8.0 +. f) :: List.map (fun l -> (l, f)) [ 0; 2; 3 ]))
+  | None -> Alcotest.fail "8 Mbps on one link is schedulable"
+
+let test_background_monotone () =
+  (* More background never yields more available bandwidth. *)
+  let avail x =
+    match
+      Path_bandwidth.available S2.model
+        ~background:[ Flow.make ~path:[ 1 ] ~demand_mbps:x ]
+        ~path:S2.path
+    with
+    | Some r -> r.Path_bandwidth.bandwidth_mbps
+    | None -> -1.0
+  in
+  let values = List.map avail [ 0.0; 4.0; 8.0; 16.0; 32.0 ] in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "monotone" true (non_increasing values);
+  check float_tol "zero background = capacity" 16.2 (List.hd values)
+
+let test_infeasible_background () =
+  (* 60 Mbps on a 54 Mbps link cannot be scheduled. *)
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:60.0 ] in
+  check Alcotest.bool "infeasible detected" true
+    (Path_bandwidth.available S2.model ~background ~path:S2.path = None);
+  check Alcotest.bool "feasible predicate agrees" false
+    (Path_bandwidth.feasible S2.model background)
+
+let test_background_schedule_minimises_airtime () =
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:27.0 ] in
+  match Path_bandwidth.background_schedule S2.model background with
+  | Some s ->
+    (* 27 Mbps over a 54 Mbps link needs exactly half the air. *)
+    check float_tol "airtime 0.5" 0.5 (Schedule.total_share s);
+    check Alcotest.bool "meets demand" true
+      (Schedule.meets_demands (Model.rates S2.model) s [ (1, 27.0) ])
+  | None -> Alcotest.fail "feasible background"
+
+let test_empty_background_schedule () =
+  match Path_bandwidth.background_schedule S2.model [] with
+  | Some s -> check Alcotest.int "empty schedule" 0 (List.length (Schedule.slots s))
+  | None -> Alcotest.fail "empty background is trivially feasible"
+
+let test_path_validation () =
+  Alcotest.check_raises "empty path" (Invalid_argument "Path_bandwidth: empty path") (fun () ->
+      ignore (Path_bandwidth.available S2.model ~background:[] ~path:[]));
+  Alcotest.check_raises "repeated link" (Invalid_argument "Path_bandwidth: repeated link in path")
+    (fun () -> ignore (Path_bandwidth.available S2.model ~background:[] ~path:[ 0; 0 ]))
+
+(* --- bounds ordering on random instances ---------------------------- *)
+
+let qcheck_bounds_sandwich =
+  QCheck.Test.make ~name:"TDMA lower <= Eq.6 optimum <= Eq.9 upper" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let optimum = (Path_bandwidth.path_capacity model ~path).Path_bandwidth.bandwidth_mbps in
+      let lower =
+        match Bounds.singleton_lower_bound model ~background:[] ~path with
+        | Some b -> b
+        | None -> 0.0
+      in
+      let upper =
+        match Bounds.upper_eq9 model ~background:[] ~path with
+        | Some b -> b
+        | None -> infinity
+      in
+      lower <= optimum +. 1e-6 && optimum <= upper +. 1e-6)
+
+let qcheck_witness_schedule_valid =
+  QCheck.Test.make ~name:"Eq.6 witness schedule is feasible and covering" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let r = Path_bandwidth.path_capacity model ~path in
+      Schedule.is_feasible model r.Path_bandwidth.schedule
+      && Schedule.meets_demands (Model.rates model) r.Path_bandwidth.schedule
+           (List.map (fun l -> (l, r.Path_bandwidth.bandwidth_mbps)) path))
+
+let qcheck_restricted_lower_bound =
+  QCheck.Test.make ~name:"restricted columns never beat the full LP" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let optimum = (Path_bandwidth.path_capacity model ~path).Path_bandwidth.bandwidth_mbps in
+      (* Keep only sets of size <= 1 or <= 2: both must lower-bound. *)
+      List.for_all
+        (fun limit ->
+          match
+            Bounds.lower_bound_restricted
+              ~keep:(fun c -> List.length c.Independent.links <= limit)
+              model ~background:[] ~path
+          with
+          | Some lb -> lb <= optimum +. 1e-6
+          | None -> true)
+        [ 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "flow validation" `Quick test_flow_validation;
+    Alcotest.test_case "flow accessors" `Quick test_flow_accessors;
+    Alcotest.test_case "chain optimum 16.2" `Quick test_chain_optimum;
+    Alcotest.test_case "chain clique violations" `Quick test_chain_clique_violations;
+    Alcotest.test_case "chain hypothesis falsified" `Quick test_chain_hypothesis_falsified;
+    Alcotest.test_case "chain Eq.7 bounds" `Quick test_chain_eq7_bounds;
+    Alcotest.test_case "chain Eq.9 upper" `Quick test_chain_eq9_upper;
+    Alcotest.test_case "chain TDMA lower" `Quick test_chain_tdma_lower;
+    Alcotest.test_case "scenario I overlap" `Quick test_scenario1_overlap;
+    Alcotest.test_case "scenario I naive schedule" `Quick test_scenario1_naive_schedule;
+    Alcotest.test_case "available with background" `Quick test_available_with_background;
+    Alcotest.test_case "background monotone" `Quick test_background_monotone;
+    Alcotest.test_case "infeasible background" `Quick test_infeasible_background;
+    Alcotest.test_case "background schedule airtime" `Quick test_background_schedule_minimises_airtime;
+    Alcotest.test_case "empty background schedule" `Quick test_empty_background_schedule;
+    Alcotest.test_case "path validation" `Quick test_path_validation;
+    QCheck_alcotest.to_alcotest qcheck_bounds_sandwich;
+    QCheck_alcotest.to_alcotest qcheck_witness_schedule_valid;
+    QCheck_alcotest.to_alcotest qcheck_restricted_lower_bound;
+  ]
+
+(* --- multi-flow admission (Section 2.5 extension) -------------------- *)
+
+let test_multi_matches_single () =
+  (* One request of demand d: scale = capacity / d. *)
+  let requests = [ Flow.make ~path:S2.path ~demand_mbps:8.1 ] in
+  match Path_bandwidth.available_multi S2.model ~background:[] ~requests with
+  | Some r -> check float_tol "scale = 16.2 / 8.1" 2.0 r.Path_bandwidth.scale
+  | None -> Alcotest.fail "feasible"
+
+let test_multi_two_flows_share () =
+  (* Two one-link requests on interfering links 1 and 2 (both 54 Mbps,
+     never concurrent): alpha * (d1/54 + d2/54) = 1. *)
+  let requests =
+    [ Flow.make ~path:[ 1 ] ~demand_mbps:27.0; Flow.make ~path:[ 2 ] ~demand_mbps:27.0 ]
+  in
+  match Path_bandwidth.available_multi S2.model ~background:[] ~requests with
+  | Some r ->
+    check float_tol "alpha = 1" 1.0 r.Path_bandwidth.scale;
+    check Alcotest.bool "witness feasible" true
+      (Wsn_sched.Schedule.is_feasible S2.model r.Path_bandwidth.multi_schedule)
+  | None -> Alcotest.fail "feasible"
+
+let test_multi_respects_background () =
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:27.0 ] in
+  let requests = [ Flow.make ~path:[ 2 ] ~demand_mbps:27.0 ] in
+  match Path_bandwidth.available_multi S2.model ~background ~requests with
+  | Some r ->
+    (* Link 2 can only use the residual half of the air. *)
+    check float_tol "alpha = 1" 1.0 r.Path_bandwidth.scale;
+    check Alcotest.bool "covers background too" true
+      (Wsn_sched.Schedule.meets_demands (Model.rates S2.model) r.Path_bandwidth.multi_schedule
+         [ (1, 27.0); (2, 27.0) ])
+  | None -> Alcotest.fail "feasible"
+
+let test_multi_infeasible_background () =
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:60.0 ] in
+  let requests = [ Flow.make ~path:[ 2 ] ~demand_mbps:1.0 ] in
+  check Alcotest.bool "None on infeasible background" true
+    (Path_bandwidth.available_multi S2.model ~background ~requests = None)
+
+let test_multi_validation () =
+  Alcotest.check_raises "no requests"
+    (Invalid_argument "Path_bandwidth.available_multi: no requests") (fun () ->
+      ignore (Path_bandwidth.available_multi S2.model ~background:[] ~requests:[]));
+  Alcotest.check_raises "zero demand"
+    (Invalid_argument "Path_bandwidth.available_multi: request with non-positive demand")
+    (fun () ->
+      ignore
+        (Path_bandwidth.available_multi S2.model ~background:[]
+           ~requests:[ Flow.make ~path:[ 1 ] ~demand_mbps:0.0 ]))
+
+let qcheck_multi_scale_consistent_with_single =
+  QCheck.Test.make ~name:"single-request multi equals available/demand" ~count:30
+    QCheck.(pair (int_bound 100_000) (float_range 0.5 20.0))
+    (fun (seed, demand) ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let capacity = (Path_bandwidth.path_capacity model ~path).Path_bandwidth.bandwidth_mbps in
+      match
+        Path_bandwidth.available_multi model ~background:[]
+          ~requests:[ Flow.make ~path ~demand_mbps:demand ]
+      with
+      | Some r -> Float.abs (r.Path_bandwidth.scale -. (capacity /. demand)) < 1e-6
+      | None -> false)
+
+let multi_suite =
+  [
+    Alcotest.test_case "multi matches single" `Quick test_multi_matches_single;
+    Alcotest.test_case "multi two flows share" `Quick test_multi_two_flows_share;
+    Alcotest.test_case "multi respects background" `Quick test_multi_respects_background;
+    Alcotest.test_case "multi infeasible background" `Quick test_multi_infeasible_background;
+    Alcotest.test_case "multi validation" `Quick test_multi_validation;
+    QCheck_alcotest.to_alcotest qcheck_multi_scale_consistent_with_single;
+  ]
+
+let suite = suite @ multi_suite

@@ -1,0 +1,152 @@
+(* Tests for Wsn_conflict.Pricing and Wsn_availbw.Column_gen: the
+   column-generation pipeline must agree with full enumeration. *)
+
+module Model = Wsn_conflict.Model
+module Independent = Wsn_conflict.Independent
+module Pricing = Wsn_conflict.Pricing
+module Rate = Wsn_radio.Rate
+module Builders = Wsn_net.Builders
+module Schedule = Wsn_sched.Schedule
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Column_gen = Wsn_availbw.Column_gen
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+module Hyp = Wsn_experiments.Hypothesis
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-5
+
+(* --- pricing --------------------------------------------------------- *)
+
+let test_pricing_singleton () =
+  (* Uniform weights on the chain: the best set is {0@36, 3@54} with
+     value 36 + 54 = 90 (all other pairs conflict; singleton best 54). *)
+  let weights _ = 1.0 in
+  match Pricing.max_weight_independent S2.model ~weights ~universe:S2.path with
+  | Some (assignment, value) ->
+    check float_tol "value 90" 90.0 value;
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+      "the relief pair"
+      [ (0, S2.rate_36); (3, S2.rate_54) ]
+      (List.sort compare assignment)
+  | None -> Alcotest.fail "positive weights must price something"
+
+let test_pricing_respects_weights () =
+  (* Weight only link 1: best is the singleton {1@54}. *)
+  let weights l = if l = 1 then 1.0 else 0.0 in
+  match Pricing.max_weight_independent S2.model ~weights ~universe:S2.path with
+  | Some (assignment, value) ->
+    check float_tol "value 54" 54.0 value;
+    check Alcotest.int "single member" 1 (List.length assignment)
+  | None -> Alcotest.fail "expected a set"
+
+let test_pricing_no_positive_weights () =
+  check Alcotest.bool "nothing to price" true
+    (Pricing.max_weight_independent S2.model ~weights:(fun _ -> 0.0) ~universe:S2.path = None)
+
+let qcheck_pricing_matches_enumeration =
+  (* Oracle: evaluate every column of the full enumeration under the
+     same weights; pricing must find a set at least as good. *)
+  QCheck.Test.make ~name:"pricing = brute-force max over all columns" ~count:60
+    QCheck.(pair (int_bound 100_000) (array_of_size (Gen.return 4) (float_range 0.0 2.0)))
+    (fun (seed, weights_arr) ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let universe = [ 0; 1; 2; 3 ] in
+      let weights l = weights_arr.(l) in
+      let columns = Independent.columns ~filter_dominated:false model ~universe in
+      let brute =
+        List.fold_left
+          (fun acc (c : Independent.column) ->
+            let v =
+              List.fold_left2
+                (fun acc l r -> acc +. (weights l *. Rate.mbps (Model.rates model) r))
+                0.0 c.Independent.links c.Independent.rates
+            in
+            Float.max acc v)
+          0.0 columns
+      in
+      match Pricing.max_weight_independent model ~weights ~universe with
+      | Some (_, value) -> Float.abs (value -. brute) < 1e-6
+      | None -> brute < 1e-6)
+
+(* --- column generation ----------------------------------------------- *)
+
+let test_cg_chain_16_2 () =
+  let r = Column_gen.path_capacity S2.model ~path:S2.path in
+  check float_tol "16.2" 16.2 r.Column_gen.bandwidth_mbps;
+  check Alcotest.bool "witness feasible" true (Schedule.is_feasible S2.model r.Column_gen.schedule);
+  check Alcotest.bool "few columns" true (r.Column_gen.columns_generated <= 8)
+
+let test_cg_with_background () =
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:8.0 ] in
+  let enum =
+    match Path_bandwidth.available S2.model ~background ~path:S2.path with
+    | Some r -> r.Path_bandwidth.bandwidth_mbps
+    | None -> Alcotest.fail "feasible"
+  in
+  match Column_gen.available S2.model ~background ~path:S2.path with
+  | Some r -> check float_tol "agrees with enumeration" enum r.Column_gen.bandwidth_mbps
+  | None -> Alcotest.fail "feasible"
+
+let test_cg_detects_infeasible_background () =
+  let background = [ Flow.make ~path:[ 1 ] ~demand_mbps:60.0 ] in
+  check Alcotest.bool "None on infeasible" true
+    (Column_gen.available S2.model ~background ~path:S2.path = None)
+
+let test_cg_physical_chain () =
+  let topo = Builders.chain ~spacing_m:55.0 10 in
+  let model = Model.physical topo in
+  let path = Builders.chain_hop_links topo in
+  let enum = (Path_bandwidth.path_capacity model ~path).Path_bandwidth.bandwidth_mbps in
+  let cg = Column_gen.path_capacity model ~path in
+  check float_tol "physical chain agrees" enum cg.Column_gen.bandwidth_mbps
+
+let qcheck_cg_equals_enumeration =
+  QCheck.Test.make ~name:"column generation = enumeration on random models" ~count:40
+    QCheck.(pair (int_bound 100_000) (float_range 0.0 12.0))
+    (fun (seed, load) ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let background = if load > 0.5 then [ Flow.make ~path:[ 2 ] ~demand_mbps:load ] else [] in
+      let enum = Path_bandwidth.available model ~background ~path in
+      let cg = Column_gen.available model ~background ~path in
+      match (enum, cg) with
+      | Some e, Some c ->
+        Float.abs (e.Path_bandwidth.bandwidth_mbps -. c.Column_gen.bandwidth_mbps) < 1e-5
+      | None, None -> true
+      | _ -> false)
+
+let test_cg_validation () =
+  Alcotest.check_raises "empty path" (Invalid_argument "Column_gen: empty path") (fun () ->
+      ignore (Column_gen.available S2.model ~background:[] ~path:[]))
+
+let test_e14_smoke () =
+  let rows = Wsn_experiments.Scalability.run ~lengths:[ 8; 12 ] () in
+  List.iter
+    (fun (r : Wsn_experiments.Scalability.row) ->
+      (match r.Wsn_experiments.Scalability.enum_columns with
+       | Some enum_cols ->
+         check Alcotest.bool "cg generates no more columns" true
+           (r.Wsn_experiments.Scalability.cg_columns <= enum_cols)
+       | None -> ());
+      check Alcotest.bool "positive optimum" true (r.Wsn_experiments.Scalability.optimum_mbps > 0.0))
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "pricing singleton" `Quick test_pricing_singleton;
+    Alcotest.test_case "pricing respects weights" `Quick test_pricing_respects_weights;
+    Alcotest.test_case "pricing no positive weights" `Quick test_pricing_no_positive_weights;
+    QCheck_alcotest.to_alcotest qcheck_pricing_matches_enumeration;
+    Alcotest.test_case "cg chain 16.2" `Quick test_cg_chain_16_2;
+    Alcotest.test_case "cg with background" `Quick test_cg_with_background;
+    Alcotest.test_case "cg infeasible background" `Quick test_cg_detects_infeasible_background;
+    Alcotest.test_case "cg physical chain" `Slow test_cg_physical_chain;
+    QCheck_alcotest.to_alcotest qcheck_cg_equals_enumeration;
+    Alcotest.test_case "cg validation" `Quick test_cg_validation;
+    Alcotest.test_case "E14 smoke" `Slow test_e14_smoke;
+  ]

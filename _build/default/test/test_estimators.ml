@@ -1,0 +1,147 @@
+(* Tests for Wsn_availbw.Estimators: Equations 10-13 and 15 on
+   hand-computed inputs plus ordering properties. *)
+
+module Estimators = Wsn_availbw.Estimators
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-9
+
+let obs rate idleness = { Estimators.rate_mbps = rate; idleness }
+
+(* A three-link path, all links in one clique. *)
+let path3 = [| obs 54.0 0.5; obs 36.0 0.8; obs 18.0 1.0 |]
+
+let one_clique = [ [ 0; 1; 2 ] ]
+
+let test_bottleneck () =
+  (* min(27, 28.8, 18) = 18 *)
+  check float_tol "eq10" 18.0 (Estimators.bottleneck path3)
+
+let test_clique_constraint () =
+  (* 1 / (1/54 + 1/36 + 1/18) = 1 / (2/108 + 3/108 + 6/108) = 108/11 *)
+  check float_tol "eq11" (108.0 /. 11.0) (Estimators.clique_constraint ~cliques:one_clique path3)
+
+let test_min_clique_bottleneck () =
+  check float_tol "eq12 = min(eq10, eq11)" (108.0 /. 11.0)
+    (Estimators.min_clique_bottleneck ~cliques:one_clique path3)
+
+let test_conservative () =
+  (* Sorted by idleness: (54, 0.5), (36, 0.8), (18, 1.0).
+     i=1: 0.5 / (1/54) = 27
+     i=2: 0.8 / (1/54 + 1/36) = 0.8 / (5/108) = 17.28
+     i=3: 1.0 / (11/108) = 108/11 = 9.8181...
+     min = 108/11. *)
+  check float_tol "eq13" (108.0 /. 11.0) (Estimators.conservative ~cliques:one_clique path3)
+
+let test_conservative_binding_middle () =
+  (* Make the middle prefix binding: idleness (0.9, 0.05, 1.0).
+     sorted: (36,0.05), (54,0.9), (18,1.0)
+     i=1: 0.05/(1/36) = 1.8
+     i=2: 0.9/(1/36+1/54) = 0.9/(5/108) = 19.44
+     i=3: 1.0/(11/108) = 9.81
+     min = 1.8 *)
+  let p = [| obs 54.0 0.9; obs 36.0 0.05; obs 18.0 1.0 |] in
+  check float_tol "middle prefix binds" 1.8 (Estimators.conservative ~cliques:one_clique p)
+
+let test_expected_clique_time () =
+  (* 1 / (1/(0.5*54) + 1/(0.8*36) + 1/(1.0*18)) = 1/(1/27 + 1/28.8 + 1/18) *)
+  let expected = 1.0 /. ((1.0 /. 27.0) +. (1.0 /. 28.8) +. (1.0 /. 18.0)) in
+  check float_tol "eq15" expected (Estimators.expected_clique_time ~cliques:one_clique path3)
+
+let test_zero_idleness () =
+  let p = [| obs 54.0 0.0; obs 36.0 1.0 |] in
+  let cliques = [ [ 0; 1 ] ] in
+  check float_tol "eq10 zero" 0.0 (Estimators.bottleneck p);
+  check float_tol "eq13 zero" 0.0 (Estimators.conservative ~cliques p);
+  check float_tol "eq15 zero" 0.0 (Estimators.expected_clique_time ~cliques p)
+
+let test_multiple_cliques_take_min () =
+  (* Two overlapping windows: estimator must take the worse. *)
+  let p = [| obs 54.0 1.0; obs 6.0 1.0; obs 54.0 1.0 |] in
+  let cliques = [ [ 0; 1 ]; [ 1; 2 ] ] in
+  (* Both windows: 1/(1/54 + 1/6) = 5.4. *)
+  check float_tol "min over windows" 5.4 (Estimators.clique_constraint ~cliques p)
+
+let test_single_link_path () =
+  let p = [| obs 54.0 0.4 |] in
+  let cliques = [ [ 0 ] ] in
+  let all = Estimators.all ~cliques p in
+  check float_tol "eq10" 21.6 all.Estimators.bottleneck;
+  check float_tol "eq11" 54.0 all.Estimators.clique_constraint;
+  check float_tol "eq12" 21.6 all.Estimators.min_clique_bottleneck;
+  check float_tol "eq13" 21.6 all.Estimators.conservative;
+  check float_tol "eq15" 21.6 all.Estimators.expected_clique_time
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Estimators: empty observations") (fun () ->
+      ignore (Estimators.bottleneck [||]));
+  Alcotest.check_raises "bad rate" (Invalid_argument "Estimators: non-positive rate") (fun () ->
+      ignore (Estimators.bottleneck [| obs 0.0 0.5 |]));
+  Alcotest.check_raises "bad idleness" (Invalid_argument "Estimators: idleness out of [0,1]")
+    (fun () -> ignore (Estimators.bottleneck [| obs 10.0 1.5 |]));
+  Alcotest.check_raises "bad clique index" (Invalid_argument "Estimators: clique index out of range")
+    (fun () -> ignore (Estimators.clique_constraint ~cliques:[ [ 7 ] ] [| obs 10.0 0.5 |]))
+
+(* --- ordering properties on random observations --------------------- *)
+
+let gen_obs =
+  QCheck.Gen.(
+    let link = map2 (fun r l -> obs r l) (oneofl [ 6.0; 18.0; 36.0; 54.0 ]) (float_range 0.01 1.0) in
+    array_size (int_range 1 6) link)
+
+let full_cover_cliques obs_arr =
+  (* Sliding windows of width two (plus a singleton for one-link paths):
+     every link is covered, as local cliques guarantee. *)
+  let n = Array.length obs_arr in
+  if n = 1 then [ [ 0 ] ] else List.init (n - 1) (fun i -> [ i; i + 1 ])
+
+let qcheck_conservative_below_eq12 =
+  QCheck.Test.make ~name:"eq13 <= eq12 when cliques cover all links" ~count:300
+    (QCheck.make gen_obs) (fun p ->
+      let cliques = full_cover_cliques p in
+      Estimators.conservative ~cliques p
+      <= Estimators.min_clique_bottleneck ~cliques p +. 1e-9)
+
+let qcheck_eq15_below_eq11 =
+  QCheck.Test.make ~name:"eq15 <= eq11" ~count:300 (QCheck.make gen_obs) (fun p ->
+      let cliques = full_cover_cliques p in
+      Estimators.expected_clique_time ~cliques p <= Estimators.clique_constraint ~cliques p +. 1e-9)
+
+let qcheck_full_idleness_degenerates =
+  QCheck.Test.make ~name:"with idleness 1 everywhere, eq12 = eq13 = eq15-vs-eq11 agree" ~count:200
+    (QCheck.make gen_obs) (fun p ->
+      let p = Array.map (fun o -> { o with Estimators.idleness = 1.0 }) p in
+      let cliques = full_cover_cliques p in
+      let all = Estimators.all ~cliques p in
+      Float.abs (all.Estimators.conservative -. all.Estimators.min_clique_bottleneck) < 1e-9
+      && Float.abs (all.Estimators.expected_clique_time -. all.Estimators.clique_constraint) < 1e-9)
+
+let qcheck_estimates_nonnegative =
+  QCheck.Test.make ~name:"all estimates are non-negative" ~count:200 (QCheck.make gen_obs)
+    (fun p ->
+      let cliques = full_cover_cliques p in
+      let all = Estimators.all ~cliques p in
+      all.Estimators.bottleneck >= 0.0
+      && all.Estimators.clique_constraint >= 0.0
+      && all.Estimators.min_clique_bottleneck >= 0.0
+      && all.Estimators.conservative >= 0.0
+      && all.Estimators.expected_clique_time >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "eq10 bottleneck" `Quick test_bottleneck;
+    Alcotest.test_case "eq11 clique constraint" `Quick test_clique_constraint;
+    Alcotest.test_case "eq12 min" `Quick test_min_clique_bottleneck;
+    Alcotest.test_case "eq13 conservative" `Quick test_conservative;
+    Alcotest.test_case "eq13 middle prefix binds" `Quick test_conservative_binding_middle;
+    Alcotest.test_case "eq15 expected clique time" `Quick test_expected_clique_time;
+    Alcotest.test_case "zero idleness" `Quick test_zero_idleness;
+    Alcotest.test_case "multiple cliques" `Quick test_multiple_cliques_take_min;
+    Alcotest.test_case "single link path" `Quick test_single_link_path;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest qcheck_conservative_below_eq12;
+    QCheck_alcotest.to_alcotest qcheck_eq15_below_eq11;
+    QCheck_alcotest.to_alcotest qcheck_full_idleness_degenerates;
+    QCheck_alcotest.to_alcotest qcheck_estimates_nonnegative;
+  ]

@@ -1,0 +1,190 @@
+(* Integration tests: the experiment drivers reproduce the paper's
+   numbers and shapes end to end. *)
+
+module E1 = Wsn_experiments.Scenario1
+module E2 = Wsn_experiments.Scenario2
+module E3 = Wsn_experiments.Fig3
+module E4 = Wsn_experiments.Fig4
+module E5 = Wsn_experiments.Hypothesis
+module E6 = Wsn_experiments.Mac_validation
+module Metrics = Wsn_routing.Metrics
+module Admission = Wsn_routing.Admission
+module Estimators = Wsn_availbw.Estimators
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-6
+
+let test_e1_matches_closed_form () =
+  List.iter
+    (fun (r : E1.row) ->
+      check float_tol
+        (Printf.sprintf "LP = (1-l)r at %.2f" r.E1.lambda)
+        r.E1.closed_form_mbps r.E1.lp_truth_mbps;
+      check Alcotest.bool "idle estimate pessimistic" true
+        (r.E1.idle_estimate_mbps <= r.E1.lp_truth_mbps +. 1e-9))
+    (E1.rows ())
+
+let test_e2_paper_numbers () =
+  let r = E2.compute () in
+  List.iter
+    (fun (name, measured, expected) ->
+      check float_tol name expected measured)
+    (E2.paper r);
+  check Alcotest.bool "eq9 sandwiches" true
+    (r.E2.eq9_upper >= r.E2.optimum_mbps -. 1e-6);
+  check Alcotest.bool "tdma lower bounds" true (r.E2.tdma_lower <= r.E2.optimum_mbps +. 1e-6)
+
+let test_e3_shape () =
+  let t = E3.compute ~seed:30L () in
+  let count metric =
+    let run = List.find (fun r -> r.Admission.label = Metrics.name metric) t.E3.runs in
+    E3.admitted_count run
+  in
+  let hop = count Metrics.Hop_count in
+  let e2etd = count Metrics.E2e_transmission_delay in
+  let avg = count Metrics.Average_e2e_delay in
+  (* The paper's ordering: average-e2eD admits the most, hop the fewest. *)
+  check Alcotest.bool "avg >= e2eTD" true (avg >= e2etd);
+  check Alcotest.bool "e2eTD >= hop" true (e2etd >= hop);
+  check Alcotest.int "seed-30 hop admissions" 3 hop;
+  check Alcotest.int "seed-30 e2eTD admissions" 5 e2etd;
+  check Alcotest.int "seed-30 avg admissions" 7 avg
+
+let test_e4_estimator_quality () =
+  let t = E4.compute ~seed:30L () in
+  check Alcotest.bool "several rows" true (List.length t.E4.rows >= 5);
+  let errors = E4.mean_abs_error t in
+  List.iter (fun (_, e) -> check Alcotest.bool "finite error" true (Float.is_finite e)) errors;
+  (* The paper's headline: background-and-interference-aware estimators
+     (Equations 12/13) beat the background-blind clique constraint (11)
+     and the interference-blind bottleneck (10). *)
+  let err name = List.assoc name errors in
+  check Alcotest.bool "eq13 better than eq11" true
+    (err "conservative(13)" < err "clique(11)");
+  check Alcotest.bool "eq13 better than eq10" true
+    (err "conservative(13)" < err "bottleneck(10)");
+  check Alcotest.bool "eq12 better than eq10" true (err "min(12)" < err "bottleneck(10)")
+
+let test_e4_estimates_mostly_bracket_truth () =
+  (* Clique constraint ignores background: it must never fall below the
+     truth by more than noise when background is empty (first flow). *)
+  let t = E4.compute ~seed:30L () in
+  match t.E4.rows with
+  | first :: _ ->
+    check Alcotest.bool "first flow: clique >= truth" true
+      (first.E4.estimates.Estimators.clique_constraint >= first.E4.truth_mbps -. 1e-6)
+  | [] -> Alcotest.fail "expected rows"
+
+let test_e5_finds_violations () =
+  let s = E5.run ~n_links:4 ~instances:100 ~seed:11L () in
+  check Alcotest.int "instances" 100 s.E5.instances;
+  check Alcotest.bool "violations exist" true (s.E5.violations > 0);
+  check Alcotest.bool "excess positive" true (s.E5.max_excess > 0.0);
+  check Alcotest.bool "mean at least one" true (s.E5.mean_min_max >= 1.0 -. 1e-9)
+
+let test_e5_deterministic () =
+  let a = E5.run ~instances:50 ~seed:4L () and b = E5.run ~instances:50 ~seed:4L () in
+  check Alcotest.int "same violations" a.E5.violations b.E5.violations;
+  check float_tol "same mean" a.E5.mean_min_max b.E5.mean_min_max
+
+let test_e6_smoke () =
+  let t = E6.compute ~seed:30L ~duration_us:200_000 () in
+  check Alcotest.int "a row per node" 30 (List.length t.E6.rows);
+  List.iter
+    (fun (r : E6.row) ->
+      if r.E6.measured < 0.0 || r.E6.measured > 1.0 then Alcotest.fail "measured out of range";
+      if r.E6.analytic < 0.0 || r.E6.analytic > 1.0 then Alcotest.fail "analytic out of range")
+    t.E6.rows;
+  check Alcotest.bool "background present" true (t.E6.background_delivered <> [])
+
+let test_fig3_sweep_ordering () =
+  (* Across seeds, the paper's metric ordering must hold on average. *)
+  let seeds = List.init 6 (fun i -> Int64.of_int (i + 1)) in
+  let means = E3.sweep_seeds ~seeds in
+  let mean m = List.assoc m means in
+  check Alcotest.bool "avg-e2eD >= e2eTD >= hop (mean)" true
+    (mean Metrics.Average_e2e_delay >= mean Metrics.E2e_transmission_delay
+    && mean Metrics.E2e_transmission_delay >= mean Metrics.Hop_count)
+
+let suite =
+  [
+    Alcotest.test_case "E1 matches closed form" `Quick test_e1_matches_closed_form;
+    Alcotest.test_case "E2 paper numbers" `Quick test_e2_paper_numbers;
+    Alcotest.test_case "E3 shape (seed 30)" `Slow test_e3_shape;
+    Alcotest.test_case "E4 estimator quality" `Slow test_e4_estimator_quality;
+    Alcotest.test_case "E4 clique bound over truth" `Slow test_e4_estimates_mostly_bracket_truth;
+    Alcotest.test_case "E5 finds violations" `Quick test_e5_finds_violations;
+    Alcotest.test_case "E5 deterministic" `Quick test_e5_deterministic;
+    Alcotest.test_case "E6 smoke" `Slow test_e6_smoke;
+    Alcotest.test_case "fig3 sweep ordering" `Slow test_fig3_sweep_ordering;
+  ]
+
+(* --- ablations (E8-E11) ----------------------------------------------- *)
+
+module Ablations = Wsn_experiments.Ablations
+
+let test_e10_quantisation () =
+  let rows = Ablations.Quantisation.run ~frames:[ 10; 100 ] () in
+  List.iter
+    (fun (r : Ablations.Quantisation.row) ->
+      (* 0.1/0.3/0.3/0.3 is exactly representable at multiples of 10. *)
+      check float_tol (Printf.sprintf "lossless at %d slots" r.frame_slots) 16.2
+        r.Ablations.Quantisation.throughput_mbps)
+    rows;
+  let lossy = Ablations.Quantisation.run ~frames:[ 7 ] () in
+  List.iter
+    (fun (r : Ablations.Quantisation.row) ->
+      check Alcotest.bool "lossy at 7 slots" true (r.Ablations.Quantisation.loss_percent > 0.0))
+    lossy
+
+let test_e11_dominance_lossless () =
+  let rows = Ablations.Dominance.run ~seed:30L () in
+  match rows with
+  | [ filtered; unfiltered ] ->
+    check Alcotest.bool "filter shrinks" true
+      (filtered.Ablations.Dominance.n_columns < unfiltered.Ablations.Dominance.n_columns);
+    check float_tol "same optimum" unfiltered.Ablations.Dominance.optimum_mbps
+      filtered.Ablations.Dominance.optimum_mbps
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_e8_rts_cts_helps () =
+  let rows = Ablations.Rts_cts.run ~seed:30L ~duration_us:500_000 () in
+  match rows with
+  | [ basic; rts ] ->
+    check Alcotest.bool "fewer corruptions with RTS/CTS" true
+      (rts.Ablations.Rts_cts.collisions <= basic.Ablations.Rts_cts.collisions)
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_e9_cs_range_monotone_idleness () =
+  let rows = Ablations.Cs_range.run ~seed:30L ~factors:[ 1.0; 2.0 ] () in
+  match rows with
+  | [ near; far ] ->
+    check Alcotest.bool "wider sensing hears more" true
+      (far.Ablations.Cs_range.mean_link_idleness <= near.Ablations.Cs_range.mean_link_idleness +. 1e-9)
+  | _ -> Alcotest.fail "two rows expected"
+
+let ablation_suite =
+  [
+    Alcotest.test_case "E10 quantisation" `Quick test_e10_quantisation;
+    Alcotest.test_case "E11 dominance lossless" `Slow test_e11_dominance_lossless;
+    Alcotest.test_case "E8 rts/cts helps" `Slow test_e8_rts_cts_helps;
+    Alcotest.test_case "E9 cs-range idleness" `Slow test_e9_cs_range_monotone_idleness;
+  ]
+
+let suite = suite @ ablation_suite
+
+let test_fig4_sweep_pooled_errors () =
+  (* Pooled over several seeds the paper's ranking must hold:
+     background-aware estimators beat the blind ones. *)
+  let seeds = List.init 5 (fun i -> Int64.of_int (i + 1)) in
+  let errors = E4.sweep_seeds ~seeds in
+  let err name = List.assoc name errors in
+  check Alcotest.bool "eq13 beats eq10 pooled" true
+    (err "conservative(13)" < err "bottleneck(10)");
+  check Alcotest.bool "eq13 beats eq11 pooled" true (err "conservative(13)" < err "clique(11)");
+  check Alcotest.bool "eq12 beats eq10 pooled" true (err "min(12)" < err "bottleneck(10)")
+
+let sweep_suite = [ Alcotest.test_case "fig4 pooled errors" `Slow test_fig4_sweep_pooled_errors ]
+
+let suite = suite @ sweep_suite

@@ -1,0 +1,138 @@
+(* Tests for Wsn_availbw.Joint_routing and its experiments (E12/E13). *)
+
+module Builders = Wsn_net.Builders
+module Topology = Wsn_net.Topology
+module Model = Wsn_conflict.Model
+module Schedule = Wsn_sched.Schedule
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Joint_routing = Wsn_availbw.Joint_routing
+module Joint_gap = Wsn_experiments.Joint_gap
+module Protocol_gap = Wsn_experiments.Protocol_gap
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-6
+
+let test_joint_single_link () =
+  let topo = Builders.chain ~spacing_m:50.0 2 in
+  let model = Model.physical topo in
+  match Joint_routing.max_flow topo model ~background:[] ~source:0 ~target:1 with
+  | Some r ->
+    check float_tol "one 54 Mbps hop" 54.0 r.Joint_routing.throughput_mbps;
+    check Alcotest.bool "witness schedulable" true
+      (Schedule.is_feasible model r.Joint_routing.schedule)
+  | None -> Alcotest.fail "trivially feasible"
+
+let test_joint_at_least_best_path () =
+  (* On the 4-node chain, the joint optimum must reach any single path's
+     capacity. *)
+  let topo = Builders.chain ~spacing_m:55.0 4 in
+  let model = Model.physical topo in
+  let hops = Builders.chain_hop_links topo in
+  let single = (Path_bandwidth.path_capacity model ~path:hops).Path_bandwidth.bandwidth_mbps in
+  match Joint_routing.max_flow topo model ~background:[] ~source:0 ~target:3 with
+  | Some r ->
+    check Alcotest.bool "joint >= single path" true
+      (r.Joint_routing.throughput_mbps >= single -. 1e-6)
+  | None -> Alcotest.fail "feasible"
+
+let test_joint_respects_background () =
+  let topo = Builders.chain ~spacing_m:50.0 2 in
+  let model = Model.physical topo in
+  (* Half the air on the reverse link, which shares the medium. *)
+  let reverse =
+    match Wsn_graph.Digraph.find_edge (Topology.graph topo) ~src:1 ~dst:0 with
+    | Some e -> e.Wsn_graph.Digraph.id
+    | None -> Alcotest.fail "missing reverse link"
+  in
+  let background = [ Flow.make ~path:[ reverse ] ~demand_mbps:27.0 ] in
+  match Joint_routing.max_flow topo model ~background ~source:0 ~target:1 with
+  | Some r ->
+    check float_tol "half the air left" 27.0 r.Joint_routing.throughput_mbps
+  | None -> Alcotest.fail "feasible"
+
+let test_joint_infeasible_background () =
+  let topo = Builders.chain ~spacing_m:50.0 2 in
+  let model = Model.physical topo in
+  let background = [ Flow.make ~path:[ 0 ] ~demand_mbps:60.0 ] in
+  check Alcotest.bool "None on infeasible background" true
+    (Joint_routing.max_flow topo model ~background ~source:0 ~target:1 = None)
+
+let test_joint_validation () =
+  let topo = Builders.chain ~spacing_m:50.0 2 in
+  let model = Model.physical topo in
+  Alcotest.check_raises "same endpoints"
+    (Invalid_argument "Joint_routing.max_flow: source equals target") (fun () ->
+      ignore (Joint_routing.max_flow topo model ~background:[] ~source:0 ~target:0));
+  Alcotest.check_raises "bad node" (Invalid_argument "Joint_routing.max_flow: node out of range")
+    (fun () -> ignore (Joint_routing.max_flow topo model ~background:[] ~source:0 ~target:9))
+
+let test_joint_extract_path () =
+  let topo = Builders.chain ~spacing_m:55.0 4 in
+  let model = Model.physical topo in
+  match Joint_routing.max_flow topo model ~background:[] ~source:0 ~target:3 with
+  | Some r -> (
+    match Joint_routing.extract_path topo r ~source:0 ~target:3 with
+    | Some path ->
+      let first = Topology.link topo (List.hd path) in
+      let last = Topology.link topo (List.nth path (List.length path - 1)) in
+      check Alcotest.int "starts at source" 0 first.Wsn_graph.Digraph.src;
+      check Alcotest.int "ends at target" 3 last.Wsn_graph.Digraph.dst
+    | None -> Alcotest.fail "positive flow must yield a path")
+  | None -> Alcotest.fail "feasible"
+
+let test_e12_ordering () =
+  (* joint >= best single >= chosen, on every row of the seed-30 run. *)
+  let t = Joint_gap.compute ~seed:30L ~k:4 () in
+  check Alcotest.bool "rows exist" true (t.Joint_gap.rows <> []);
+  List.iter
+    (fun (r : Joint_gap.row) ->
+      if r.Joint_gap.best_single_mbps < r.Joint_gap.chosen_mbps -. 1e-6 then
+        Alcotest.failf "flow %d: best single below chosen" r.Joint_gap.flow_index;
+      if r.Joint_gap.joint_mbps < r.Joint_gap.best_single_mbps -. 1e-6 then
+        Alcotest.failf "flow %d: joint below best single" r.Joint_gap.flow_index)
+    t.Joint_gap.rows
+
+let test_e13_pairwise_never_below () =
+  let s = Protocol_gap.run ~instances:8 ~n_nodes:10 ~seed:5L () in
+  List.iter
+    (fun (r : Protocol_gap.row) ->
+      if r.Protocol_gap.pairwise_mbps < r.Protocol_gap.physical_mbps -. 1e-6 then
+        Alcotest.fail "pairwise approximation must over-estimate")
+    s.Protocol_gap.rows
+
+let test_e13_chain_gap_appears () =
+  let rows = Protocol_gap.chain_rows ~cases:[ (55.0, 12) ] () in
+  match rows with
+  | [ r ] ->
+    check Alcotest.bool "cumulative interference shows" true
+      (r.Protocol_gap.pairwise_mbps > r.Protocol_gap.physical_mbps +. 1e-3)
+  | _ -> Alcotest.fail "one row expected"
+
+let test_fig2_dot_wellformed () =
+  let dot = Wsn_experiments.Fig2.dot ~seed:30L () in
+  check Alcotest.bool "digraph header" true (String.length dot > 100);
+  check Alcotest.bool "starts right" true (String.sub dot 0 13 = "digraph fig2 ");
+  check Alcotest.bool "closes" true (String.sub dot (String.length dot - 2) 2 = "}\n");
+  (* All 30 nodes present. *)
+  let count_substring s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i acc = if i + m > n then acc else go (i + 1) (if String.sub s i m = sub then acc + 1 else acc) in
+    go 0 0
+  in
+  check Alcotest.bool "node 29 present" true (count_substring dot "n29 [pos=" = 1)
+
+let suite =
+  [
+    Alcotest.test_case "joint single link" `Quick test_joint_single_link;
+    Alcotest.test_case "joint >= best path" `Quick test_joint_at_least_best_path;
+    Alcotest.test_case "joint respects background" `Quick test_joint_respects_background;
+    Alcotest.test_case "joint infeasible background" `Quick test_joint_infeasible_background;
+    Alcotest.test_case "joint validation" `Quick test_joint_validation;
+    Alcotest.test_case "joint extract path" `Quick test_joint_extract_path;
+    Alcotest.test_case "E12 ordering" `Slow test_e12_ordering;
+    Alcotest.test_case "E13 pairwise never below" `Slow test_e13_pairwise_never_below;
+    Alcotest.test_case "E13 chain gap appears" `Slow test_e13_chain_gap_appears;
+    Alcotest.test_case "fig2 dot well-formed" `Slow test_fig2_dot_wellformed;
+  ]

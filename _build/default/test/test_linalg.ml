@@ -1,0 +1,111 @@
+(* Tests for Wsn_linalg: vectors and matrices. *)
+
+module Vector = Wsn_linalg.Vector
+module Matrix = Wsn_linalg.Matrix
+
+let check = Alcotest.check
+
+let float_eps = Alcotest.float 1e-9
+
+let test_vector_basics () =
+  let v = Vector.init 4 float_of_int in
+  check Alcotest.int "dim" 4 (Vector.dim v);
+  check float_eps "dot" 14.0 (Vector.dot v v);
+  check float_eps "norm_inf" 3.0 (Vector.norm_inf v);
+  check Alcotest.int "max_index" 3 (Vector.max_index v)
+
+let test_vector_arith () =
+  let u = [| 1.0; 2.0 |] and v = [| 3.0; 5.0 |] in
+  check (Alcotest.array float_eps) "add" [| 4.0; 7.0 |] (Vector.add u v);
+  check (Alcotest.array float_eps) "sub" [| -2.0; -3.0 |] (Vector.sub u v);
+  check (Alcotest.array float_eps) "scale" [| 2.0; 4.0 |] (Vector.scale 2.0 u)
+
+let test_vector_axpy () =
+  let x = [| 1.0; 2.0 |] and y = [| 10.0; 20.0 |] in
+  Vector.axpy 3.0 x y;
+  check (Alcotest.array float_eps) "axpy" [| 13.0; 26.0 |] y
+
+let test_vector_leq_and_eq () =
+  check Alcotest.bool "leq true" true (Vector.leq [| 1.0; 2.0 |] [| 1.0; 3.0 |]);
+  check Alcotest.bool "leq false" false (Vector.leq [| 2.0; 2.0 |] [| 1.0; 3.0 |]);
+  check Alcotest.bool "approx_equal" true
+    (Vector.approx_equal [| 1.0 |] [| 1.0 +. 1e-12 |]);
+  check Alcotest.bool "approx_equal dims" false (Vector.approx_equal [| 1.0 |] [| 1.0; 2.0 |])
+
+let test_vector_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vector.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vector.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_matrix_basics () =
+  let m = Matrix.init 2 3 (fun i j -> float_of_int ((10 * i) + j)) in
+  check Alcotest.int "rows" 2 (Matrix.rows m);
+  check Alcotest.int "cols" 3 (Matrix.cols m);
+  check float_eps "get" 12.0 (Matrix.get m 1 2);
+  check (Alcotest.array float_eps) "row" [| 10.0; 11.0; 12.0 |] (Matrix.row m 1);
+  check (Alcotest.array float_eps) "col" [| 2.0; 12.0 |] (Matrix.col m 2)
+
+let test_matrix_of_rows () =
+  let m = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check float_eps "corner" 4.0 (Matrix.get m 1 1);
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_rows: ragged rows") (fun () ->
+      ignore (Matrix.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_matrix_mul_vec () =
+  let m = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check (Alcotest.array float_eps) "mul_vec" [| 5.0; 11.0 |] (Matrix.mul_vec m [| 1.0; 2.0 |]);
+  check (Alcotest.array float_eps) "transpose_mul_vec" [| 4.0; 6.0 |]
+    (Matrix.transpose_mul_vec m [| 1.0; 1.0 |])
+
+let test_matrix_row_ops () =
+  let m = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Matrix.swap_rows m 0 1;
+  check (Alcotest.array float_eps) "swap" [| 3.0; 4.0 |] (Matrix.row m 0);
+  Matrix.scale_row m 0 2.0;
+  check (Alcotest.array float_eps) "scale_row" [| 6.0; 8.0 |] (Matrix.row m 0);
+  Matrix.add_scaled_row m ~src:0 ~dst:1 (-1.0);
+  check (Alcotest.array float_eps) "add_scaled_row" [| -5.0; -6.0 |] (Matrix.row m 1)
+
+let test_matrix_copy_isolated () =
+  let m = Matrix.zeros 2 2 in
+  let c = Matrix.copy m in
+  Matrix.set m 0 0 9.0;
+  check float_eps "copy unaffected" 0.0 (Matrix.get c 0 0)
+
+let float_vec n = QCheck.(array_of_size (Gen.return n) (float_range (-100.0) 100.0))
+
+let qcheck_dot_commutative =
+  QCheck.Test.make ~name:"dot is commutative" ~count:200
+    QCheck.(pair (float_vec 5) (float_vec 5))
+    (fun (u, v) -> Float.abs (Vector.dot u v -. Vector.dot v u) < 1e-9)
+
+let qcheck_add_sub_roundtrip =
+  QCheck.Test.make ~name:"(u + v) - v = u" ~count:200
+    QCheck.(pair (float_vec 6) (float_vec 6))
+    (fun (u, v) -> Vector.approx_equal ~eps:1e-6 u (Vector.sub (Vector.add u v) v))
+
+let qcheck_matvec_linear =
+  QCheck.Test.make ~name:"M(u+v) = Mu + Mv" ~count:100
+    QCheck.(pair (float_vec 4) (float_vec 4))
+    (fun (u, v) ->
+      let m = Matrix.init 3 4 (fun i j -> float_of_int (((i + 1) * (j + 2)) mod 7) -. 3.0) in
+      Vector.approx_equal ~eps:1e-6
+        (Matrix.mul_vec m (Vector.add u v))
+        (Vector.add (Matrix.mul_vec m u) (Matrix.mul_vec m v)))
+
+let suite =
+  [
+    Alcotest.test_case "vector basics" `Quick test_vector_basics;
+    Alcotest.test_case "vector arithmetic" `Quick test_vector_arith;
+    Alcotest.test_case "vector axpy" `Quick test_vector_axpy;
+    Alcotest.test_case "vector leq/approx" `Quick test_vector_leq_and_eq;
+    Alcotest.test_case "vector dim mismatch" `Quick test_vector_dim_mismatch;
+    Alcotest.test_case "matrix basics" `Quick test_matrix_basics;
+    Alcotest.test_case "matrix of_rows" `Quick test_matrix_of_rows;
+    Alcotest.test_case "matrix mul_vec" `Quick test_matrix_mul_vec;
+    Alcotest.test_case "matrix row ops" `Quick test_matrix_row_ops;
+    Alcotest.test_case "matrix copy isolation" `Quick test_matrix_copy_isolated;
+    QCheck_alcotest.to_alcotest qcheck_dot_commutative;
+    QCheck_alcotest.to_alcotest qcheck_add_sub_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_matvec_linear;
+  ]

@@ -1,0 +1,315 @@
+(* Tests for Wsn_mac: event queue, DCF config, and the CSMA/CA
+   simulator on scenarios with known answers. *)
+
+module Event_queue = Wsn_mac.Event_queue
+module Dcf_config = Wsn_mac.Dcf_config
+module Sim = Wsn_mac.Sim
+module Point = Wsn_net.Point
+module Topology = Wsn_net.Topology
+module Digraph = Wsn_graph.Digraph
+
+let check = Alcotest.check
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~time:30 "c";
+  Event_queue.schedule q ~time:10 "a";
+  Event_queue.schedule q ~time:20 "b";
+  check Alcotest.int "size" 3 (Event_queue.size q);
+  check (Alcotest.option Alcotest.int) "next time" (Some 10) (Event_queue.next_time q);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "ordered drain"
+    [ (10, "a"); (20, "b"); (30, "c") ]
+    (Event_queue.pop_until q ~time:100);
+  check Alcotest.bool "empty after drain" true (Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~time:5 "first";
+  Event_queue.schedule q ~time:5 "second";
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "insertion order on ties"
+    [ (5, "first"); (5, "second") ]
+    (Event_queue.pop_until q ~time:5)
+
+let test_event_queue_pop_until_partial () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.schedule q ~time:t t) [ 1; 5; 9 ];
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "partial drain"
+    [ (1, 1); (5, 5) ]
+    (Event_queue.pop_until q ~time:5);
+  check Alcotest.int "one left" 1 (Event_queue.size q)
+
+let test_event_queue_validation () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "negative time" (Invalid_argument "Event_queue.schedule: negative time")
+    (fun () -> Event_queue.schedule q ~time:(-1) ())
+
+let qcheck_event_queue_sorted =
+  QCheck.Test.make ~name:"event queue drains in time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 60) (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.schedule q ~time:t t) times;
+      let drained = List.map fst (Event_queue.pop_until q ~time:10_000) in
+      drained = List.sort compare times)
+
+let test_dcf_config () =
+  let c = Dcf_config.default in
+  check Alcotest.int "difs slots" 4 (Dcf_config.difs_slots c);
+  (* 12000 bits at 54 Mbps = 222.2 us -> 25 slots of 9 us. *)
+  check Alcotest.int "tx slots at 54" 25 (Dcf_config.tx_slots c ~rate_mbps:54.0);
+  check Alcotest.int "tx slots at 6" 223 (Dcf_config.tx_slots c ~rate_mbps:6.0);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Dcf_config.tx_slots: non-positive rate")
+    (fun () -> ignore (Dcf_config.tx_slots c ~rate_mbps:0.0))
+
+(* --- simulator ------------------------------------------------------ *)
+
+let pair_topology () =
+  Topology.create [| Point.make 0.0 0.0; Point.make 50.0 0.0 |]
+
+let the_link topo s d =
+  match Digraph.find_edge (Topology.graph topo) ~src:s ~dst:d with
+  | Some e -> e.Digraph.id
+  | None -> Alcotest.fail "missing link"
+
+let test_sim_no_traffic_fully_idle () =
+  let topo = pair_topology () in
+  let stats = Sim.run topo ~flows:[] ~duration_us:100_000 in
+  Array.iter (fun idle -> check (Alcotest.float 1e-9) "fully idle" 1.0 idle) stats.Sim.node_idleness;
+  check Alcotest.int "nothing sent" 0 stats.Sim.frames_sent
+
+let test_sim_light_load_delivers () =
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let stats = Sim.run topo ~flows:[ { Sim.links = [ l ]; demand_mbps = 2.0 } ] ~duration_us:1_000_000 in
+  let f = stats.Sim.flows.(0) in
+  check Alcotest.bool "goodput near offered" true (Float.abs (f.Sim.delivered_mbps -. 2.0) < 0.15);
+  check Alcotest.int "no drops" 0 f.Sim.frames_dropped;
+  check Alcotest.int "no collisions" 0 stats.Sim.collisions;
+  (* Idleness ~ 1 - 2/54 (plus rounding of frame airtime to slots). *)
+  let expected_busy = 2.0 /. 54.0 in
+  if Float.abs (1.0 -. stats.Sim.node_idleness.(0) -. expected_busy) > 0.02 then
+    Alcotest.failf "idleness %f inconsistent with airtime %f" stats.Sim.node_idleness.(0)
+      expected_busy
+
+let test_sim_saturation_below_link_rate () =
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let stats = Sim.run topo ~flows:[ { Sim.links = [ l ]; demand_mbps = 80.0 } ] ~duration_us:1_000_000 in
+  let f = stats.Sim.flows.(0) in
+  check Alcotest.bool "below PHY rate" true (f.Sim.delivered_mbps < 54.0);
+  check Alcotest.bool "but substantial" true (f.Sim.delivered_mbps > 20.0)
+
+let test_sim_two_hop_forwarding () =
+  let topo =
+    Topology.create [| Point.make 0.0 0.0; Point.make 50.0 0.0; Point.make 100.0 0.0 |]
+  in
+  let l01 = the_link topo 0 1 and l12 = the_link topo 1 2 in
+  let stats =
+    Sim.run topo ~flows:[ { Sim.links = [ l01; l12 ]; demand_mbps = 4.0 } ] ~duration_us:1_000_000
+  in
+  let f = stats.Sim.flows.(0) in
+  check Alcotest.bool "end-to-end goodput" true (Float.abs (f.Sim.delivered_mbps -. 4.0) < 0.3)
+
+let test_sim_deterministic () =
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let flows = [ { Sim.links = [ l ]; demand_mbps = 10.0 } ] in
+  let a = Sim.run ~seed:5L topo ~flows ~duration_us:300_000 in
+  let b = Sim.run ~seed:5L topo ~flows ~duration_us:300_000 in
+  check Alcotest.int "same frames sent" a.Sim.frames_sent b.Sim.frames_sent;
+  check (Alcotest.array (Alcotest.float 1e-12)) "same idleness" a.Sim.node_idleness b.Sim.node_idleness
+
+let test_sim_contention_two_senders () =
+  (* Two co-located pairs share the channel: each gets roughly half of
+     what a lone saturated sender would. *)
+  let topo =
+    Topology.create
+      [| Point.make 0.0 0.0; Point.make 50.0 0.0; Point.make 0.0 50.0; Point.make 50.0 50.0 |]
+  in
+  let a = the_link topo 0 1 and b = the_link topo 2 3 in
+  let stats =
+    Sim.run topo
+      ~flows:[ { Sim.links = [ a ]; demand_mbps = 80.0 }; { Sim.links = [ b ]; demand_mbps = 80.0 } ]
+      ~duration_us:1_000_000
+  in
+  let d0 = stats.Sim.flows.(0).Sim.delivered_mbps and d1 = stats.Sim.flows.(1).Sim.delivered_mbps in
+  check Alcotest.bool "both make progress" true (d0 > 5.0 && d1 > 5.0);
+  check Alcotest.bool "rough fairness" true (Float.abs (d0 -. d1) < 0.5 *. (d0 +. d1))
+
+let test_sim_link_idleness_helper () =
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let stats = Sim.run topo ~flows:[ { Sim.links = [ l ]; demand_mbps = 2.0 } ] ~duration_us:200_000 in
+  let expected = Float.min stats.Sim.node_idleness.(0) stats.Sim.node_idleness.(1) in
+  check (Alcotest.float 1e-12) "link idleness = min endpoints" expected
+    (Sim.link_idleness stats topo l)
+
+let test_sim_route_validation () =
+  let topo = pair_topology () in
+  Alcotest.check_raises "empty route" (Invalid_argument "Sim: empty route") (fun () ->
+      ignore (Sim.run topo ~flows:[ { Sim.links = []; demand_mbps = 1.0 } ] ~duration_us:1000));
+  let l01 = the_link topo 0 1 and l10 = the_link topo 1 0 in
+  Alcotest.check_raises "broken chain" (Invalid_argument "Sim: route links do not chain")
+    (fun () ->
+      ignore
+        (Sim.run topo ~flows:[ { Sim.links = [ l01; l01 ] ; demand_mbps = 1.0 } ] ~duration_us:1000));
+  ignore l10
+
+let suite =
+  [
+    Alcotest.test_case "event queue order" `Quick test_event_queue_order;
+    Alcotest.test_case "event queue fifo ties" `Quick test_event_queue_fifo_ties;
+    Alcotest.test_case "event queue partial drain" `Quick test_event_queue_pop_until_partial;
+    Alcotest.test_case "event queue validation" `Quick test_event_queue_validation;
+    QCheck_alcotest.to_alcotest qcheck_event_queue_sorted;
+    Alcotest.test_case "dcf config" `Quick test_dcf_config;
+    Alcotest.test_case "sim no traffic" `Quick test_sim_no_traffic_fully_idle;
+    Alcotest.test_case "sim light load" `Slow test_sim_light_load_delivers;
+    Alcotest.test_case "sim saturation" `Slow test_sim_saturation_below_link_rate;
+    Alcotest.test_case "sim two-hop forwarding" `Slow test_sim_two_hop_forwarding;
+    Alcotest.test_case "sim deterministic" `Quick test_sim_deterministic;
+    Alcotest.test_case "sim contention fairness" `Slow test_sim_contention_two_senders;
+    Alcotest.test_case "sim link idleness helper" `Quick test_sim_link_idleness_helper;
+    Alcotest.test_case "sim route validation" `Quick test_sim_route_validation;
+  ]
+
+let test_rts_cts_config () =
+  let c = Wsn_mac.Dcf_config.with_rts_cts Wsn_mac.Dcf_config.default in
+  check Alcotest.bool "flag set" true c.Wsn_mac.Dcf_config.rts_cts;
+  (* 12000/54 + 66 us = 288.2 -> 33 slots (25 without). *)
+  check Alcotest.int "overhead added" 33 (Wsn_mac.Dcf_config.tx_slots c ~rate_mbps:54.0)
+
+let test_rts_cts_silences_hidden_terminal () =
+  (* Classic hidden-terminal line: A -> B <- C with A and C out of each
+     other's carrier-sense range but both within B's.
+     A--150m--B--150m--C: d(A,C)=300m > cs range 221m. *)
+  let topo =
+    Topology.create [| Point.make 0.0 0.0; Point.make 150.0 0.0; Point.make 300.0 0.0 |]
+  in
+  let ab = the_link topo 0 1 and cb = the_link topo 2 1 in
+  let flows =
+    [ { Sim.links = [ ab ]; demand_mbps = 4.0 }; { Sim.links = [ cb ]; demand_mbps = 4.0 } ]
+  in
+  let basic = Sim.run topo ~flows ~duration_us:1_000_000 in
+  let rts =
+    Sim.run ~config:(Wsn_mac.Dcf_config.with_rts_cts Wsn_mac.Dcf_config.default) topo ~flows
+      ~duration_us:1_000_000
+  in
+  check Alcotest.bool "hidden terminal corrupts without RTS/CTS" true (basic.Sim.collisions > 0);
+  check Alcotest.bool "RTS/CTS suppresses most corruption" true
+    (rts.Sim.collisions * 4 < basic.Sim.collisions)
+
+let rts_suite =
+  [
+    Alcotest.test_case "rts/cts config" `Quick test_rts_cts_config;
+    Alcotest.test_case "rts/cts hidden terminal" `Slow test_rts_cts_silences_hidden_terminal;
+  ]
+
+let suite = suite @ rts_suite
+
+let test_sim_latency_tracking () =
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let stats = Sim.run topo ~flows:[ { Sim.links = [ l ]; demand_mbps = 2.0 } ] ~duration_us:500_000 in
+  let f = stats.Sim.flows.(0) in
+  (* One uncontended hop at 54 Mbps: ~222 us airtime + DIFS + backoff;
+     latency must land in the few-hundred-microsecond range. *)
+  check Alcotest.bool "mean latency plausible" true
+    (f.Sim.mean_latency_us > 200.0 && f.Sim.mean_latency_us < 1000.0);
+  check Alcotest.bool "p95 >= mean order" true (f.Sim.p95_latency_us >= f.Sim.mean_latency_us -. 50.0)
+
+let test_sim_latency_nan_when_nothing_delivered () =
+  let topo = pair_topology () in
+  let stats = Sim.run topo ~flows:[ { Sim.links = [ the_link topo 0 1 ]; demand_mbps = 0.0 } ] ~duration_us:50_000 in
+  check Alcotest.bool "nan latency" true (Float.is_nan stats.Sim.flows.(0).Sim.mean_latency_us)
+
+let test_sim_latency_grows_under_contention () =
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let light = Sim.run topo ~flows:[ { Sim.links = [ l ]; demand_mbps = 1.0 } ] ~duration_us:500_000 in
+  let heavy = Sim.run topo ~flows:[ { Sim.links = [ l ]; demand_mbps = 53.0 } ] ~duration_us:500_000 in
+  check Alcotest.bool "queueing delay shows up" true
+    (heavy.Sim.flows.(0).Sim.mean_latency_us > light.Sim.flows.(0).Sim.mean_latency_us)
+
+let latency_suite =
+  [
+    Alcotest.test_case "latency tracking" `Slow test_sim_latency_tracking;
+    Alcotest.test_case "latency nan when idle" `Quick test_sim_latency_nan_when_nothing_delivered;
+    Alcotest.test_case "latency grows under load" `Slow test_sim_latency_grows_under_contention;
+  ]
+
+let suite = suite @ latency_suite
+
+(* --- analytic saturation model (Bianchi) ------------------------------ *)
+
+module Saturation = Wsn_mac.Saturation
+
+let test_saturation_single_station_closed_form () =
+  let pred = Saturation.predict ~n_stations:1 ~rate_mbps:54.0 () in
+  (* With n = 1: p = 0 and tau = 2 / (W + 1). *)
+  check (Alcotest.float 1e-9) "tau closed form" (2.0 /. 17.0) pred.Saturation.tau;
+  check (Alcotest.float 1e-9) "no collisions" 0.0 pred.Saturation.collision_probability;
+  check Alcotest.bool "below PHY rate" true (pred.Saturation.total_throughput_mbps < 54.0)
+
+let test_saturation_collision_probability_grows () =
+  let p n = (Saturation.predict ~n_stations:n ~rate_mbps:54.0 ()).Saturation.collision_probability in
+  check Alcotest.bool "monotone in stations" true (p 2 < p 4 && p 4 < p 8)
+
+let test_saturation_validation () =
+  Alcotest.check_raises "zero stations"
+    (Invalid_argument "Saturation.predict: need at least one station") (fun () ->
+      ignore (Saturation.predict ~n_stations:0 ~rate_mbps:54.0 ()));
+  Alcotest.check_raises "bad rate" (Invalid_argument "Saturation.predict: non-positive rate")
+    (fun () -> ignore (Saturation.predict ~n_stations:1 ~rate_mbps:0.0 ()))
+
+let saturated_sim n_stations =
+  (* n co-located sender/receiver pairs; everyone hears everyone. *)
+  let positions =
+    Array.init (2 * n_stations) (fun i ->
+        if i < n_stations then Point.make (float_of_int i *. 2.0) 0.0
+        else Point.make (float_of_int (i - n_stations) *. 2.0) 50.0)
+  in
+  let topo = Topology.create positions in
+  let flows =
+    List.init n_stations (fun i ->
+        match Digraph.find_edge (Topology.graph topo) ~src:i ~dst:(i + n_stations) with
+        | Some e -> { Sim.links = [ e.Digraph.id ]; demand_mbps = 80.0 }
+        | None -> Alcotest.fail "missing pair link")
+  in
+  let stats = Sim.run topo ~flows ~duration_us:2_000_000 in
+  Array.fold_left (fun acc f -> acc +. f.Sim.delivered_mbps) 0.0 stats.Sim.flows
+
+let test_saturation_matches_simulator_single () =
+  let predicted = (Saturation.predict ~n_stations:1 ~rate_mbps:54.0 ()).Saturation.total_throughput_mbps in
+  let simulated = saturated_sim 1 in
+  let ratio = simulated /. predicted in
+  if ratio < 0.9 || ratio > 1.1 then
+    Alcotest.failf "single-station sim %.2f vs analytic %.2f (ratio %.3f)" simulated predicted ratio
+
+let test_saturation_tracks_simulator_trend () =
+  (* The analytic model is an approximation of a slightly different MAC
+     (no ACKs, finite retries): demand agreement within 35% and the
+     same order of magnitude across station counts. *)
+  List.iter
+    (fun n ->
+      let predicted = (Saturation.predict ~n_stations:n ~rate_mbps:54.0 ()).Saturation.total_throughput_mbps in
+      let simulated = saturated_sim n in
+      let ratio = simulated /. predicted in
+      if ratio < 0.75 || ratio > 1.35 then
+        Alcotest.failf "n=%d: sim %.2f vs analytic %.2f (ratio %.3f)" n simulated predicted ratio)
+    [ 2; 5 ]
+
+let saturation_suite =
+  [
+    Alcotest.test_case "saturation closed form n=1" `Quick test_saturation_single_station_closed_form;
+    Alcotest.test_case "saturation p monotone" `Quick test_saturation_collision_probability_grows;
+    Alcotest.test_case "saturation validation" `Quick test_saturation_validation;
+    Alcotest.test_case "saturation vs sim (n=1)" `Slow test_saturation_matches_simulator_single;
+    Alcotest.test_case "saturation vs sim trend" `Slow test_saturation_tracks_simulator_trend;
+  ]
+
+let suite = suite @ saturation_suite

@@ -1,0 +1,24 @@
+(* Test entry point: every suite in one alcotest binary. *)
+
+let () =
+  Alcotest.run "wsn_availbw"
+    [
+      ("prng", Test_prng.suite);
+      ("linalg", Test_linalg.suite);
+      ("lp", Test_lp.suite);
+      ("graph", Test_graph.suite);
+      ("radio", Test_radio.suite);
+      ("net", Test_net.suite);
+      ("conflict", Test_conflict.suite);
+      ("sched", Test_sched.suite);
+      ("quantize", Test_quantize.suite);
+      ("availbw", Test_availbw.suite);
+      ("estimators", Test_estimators.suite);
+      ("routing", Test_routing.suite);
+      ("qos-routing", Test_qos_routing.suite);
+      ("mac", Test_mac.suite);
+      ("workload", Test_workload.suite);
+      ("experiments", Test_experiments.suite);
+      ("joint", Test_joint.suite);
+      ("column-gen", Test_column_gen.suite);
+    ]

@@ -1,0 +1,166 @@
+(* Tests for Wsn_net: points, topology derivation, generators. *)
+
+module Point = Wsn_net.Point
+module Topology = Wsn_net.Topology
+module Generator = Wsn_net.Generator
+module Digraph = Wsn_graph.Digraph
+module Pcg32 = Wsn_prng.Pcg32
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-9
+
+let test_point_distance () =
+  check float_tol "3-4-5" 5.0 (Point.distance (Point.make 0.0 0.0) (Point.make 3.0 4.0));
+  check float_tol "self" 0.0 (Point.distance (Point.make 1.0 1.0) (Point.make 1.0 1.0))
+
+let pair_topology d =
+  Topology.create [| Point.make 0.0 0.0; Point.make d 0.0 |]
+
+let test_topology_two_nodes_in_range () =
+  let topo = pair_topology 50.0 in
+  check Alcotest.int "two directed links" 2 (Topology.n_links topo);
+  check float_tol "54 Mbps both ways" 54.0 (Topology.alone_mbps topo 0);
+  check float_tol "link distance" 50.0 (Topology.link_distance topo 0);
+  check Alcotest.bool "connected" true (Topology.is_connected topo)
+
+let test_topology_rate_by_distance () =
+  List.iter
+    (fun (d, expect) -> check float_tol (Printf.sprintf "at %gm" d) expect (Topology.alone_mbps (pair_topology d) 0))
+    [ (30.0, 54.0); (70.0, 36.0); (100.0, 18.0); (140.0, 6.0) ]
+
+let test_topology_out_of_range () =
+  let topo = pair_topology 200.0 in
+  check Alcotest.int "no links" 0 (Topology.n_links topo);
+  check Alcotest.bool "disconnected" false (Topology.is_connected topo)
+
+let test_topology_links_are_symmetric_pairs () =
+  (* Symmetric positions give a reverse link for every link. *)
+  let rng = Pcg32.create 5L in
+  let positions = Array.init 12 (fun _ -> Point.make (Pcg32.uniform rng 0.0 300.0) (Pcg32.uniform rng 0.0 300.0)) in
+  let topo = Topology.create positions in
+  List.iter
+    (fun e ->
+      match Digraph.find_edge (Topology.graph topo) ~src:e.Digraph.dst ~dst:e.Digraph.src with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing reverse of %d->%d" e.Digraph.src e.Digraph.dst)
+    (Topology.links topo)
+
+let test_topology_position_validation () =
+  let topo = pair_topology 50.0 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Topology.position: node out of range")
+    (fun () -> ignore (Topology.position topo 9))
+
+let test_generator_deterministic () =
+  let cfg = Generator.paper_config in
+  let p1 = Generator.random_positions (Pcg32.create 3L) cfg in
+  let p2 = Generator.random_positions (Pcg32.create 3L) cfg in
+  check Alcotest.bool "same placement" true (p1 = p2);
+  check Alcotest.int "node count" 30 (Array.length p1);
+  Array.iter
+    (fun p ->
+      if p.Point.x < 0.0 || p.Point.x > 400.0 || p.Point.y < 0.0 || p.Point.y > 600.0 then
+        Alcotest.fail "node outside the paper's rectangle")
+    p1
+
+let test_generator_connected () =
+  let topo = Generator.connected_topology (Pcg32.create 7L) Generator.paper_config in
+  check Alcotest.bool "connected" true (Topology.is_connected topo);
+  check Alcotest.int "30 nodes" 30 (Topology.n_nodes topo)
+
+let test_random_pairs () =
+  let pairs = Generator.random_pairs (Pcg32.create 9L) ~n_nodes:10 ~count:50 in
+  check Alcotest.int "count" 50 (List.length pairs);
+  List.iter
+    (fun (s, d) ->
+      if s = d then Alcotest.fail "source equals destination";
+      if s < 0 || s >= 10 || d < 0 || d >= 10 then Alcotest.fail "endpoint out of range")
+    pairs
+
+let test_random_pairs_validation () =
+  Alcotest.check_raises "too few nodes"
+    (Invalid_argument "Generator.random_pairs: need at least 2 nodes") (fun () ->
+      ignore (Generator.random_pairs (Pcg32.create 1L) ~n_nodes:1 ~count:1))
+
+let qcheck_alone_rate_matches_distance =
+  QCheck.Test.make ~name:"every link's alone rate matches its distance" ~count:50
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let rng = Pcg32.create (Int64.of_int seed) in
+      let positions =
+        Array.init 10 (fun _ -> Point.make (Pcg32.uniform rng 0.0 250.0) (Pcg32.uniform rng 0.0 250.0))
+      in
+      let topo = Topology.create positions in
+      List.for_all
+        (fun e ->
+          let id = e.Digraph.id in
+          match Wsn_radio.Rate.best_at_distance Wsn_radio.Rate.dot11a (Topology.link_distance topo id) with
+          | Some r -> r = Topology.alone_rate topo id
+          | None -> false)
+        (Topology.links topo))
+
+let suite =
+  [
+    Alcotest.test_case "point distance" `Quick test_point_distance;
+    Alcotest.test_case "two nodes in range" `Quick test_topology_two_nodes_in_range;
+    Alcotest.test_case "rate by distance" `Quick test_topology_rate_by_distance;
+    Alcotest.test_case "out of range" `Quick test_topology_out_of_range;
+    Alcotest.test_case "links symmetric" `Quick test_topology_links_are_symmetric_pairs;
+    Alcotest.test_case "position validation" `Quick test_topology_position_validation;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator connected" `Quick test_generator_connected;
+    Alcotest.test_case "random pairs" `Quick test_random_pairs;
+    Alcotest.test_case "random pairs validation" `Quick test_random_pairs_validation;
+    QCheck_alcotest.to_alcotest qcheck_alone_rate_matches_distance;
+  ]
+
+(* --- builders --------------------------------------------------------- *)
+
+module Builders = Wsn_net.Builders
+
+let test_chain_builder () =
+  let topo = Builders.chain ~spacing_m:55.0 5 in
+  check Alcotest.int "five nodes" 5 (Topology.n_nodes topo);
+  let hops = Builders.chain_hop_links topo in
+  check Alcotest.int "four hops" 4 (List.length hops);
+  List.iter (fun l -> check float_tol "54 Mbps hops" 54.0 (Topology.alone_mbps topo l)) hops
+
+let test_chain_builder_out_of_range () =
+  let topo = Builders.chain ~spacing_m:200.0 3 in
+  Alcotest.check_raises "unreachable neighbours"
+    (Invalid_argument "Builders.chain_hop_links: neighbour hop out of radio range") (fun () ->
+      ignore (Builders.chain_hop_links topo))
+
+let test_grid_builder () =
+  let topo = Builders.grid ~pitch_m:60.0 ~rows:3 4 in
+  check Alcotest.int "twelve nodes" 12 (Topology.n_nodes topo);
+  (* Node (r,c) indexing: (1,2) -> 6; neighbours 60 m apart. *)
+  check float_tol "pitch distance" 60.0 (Topology.node_distance topo 6 7);
+  check float_tol "row distance" 60.0 (Topology.node_distance topo 2 6);
+  check Alcotest.bool "connected" true (Topology.is_connected topo)
+
+let test_star_builder () =
+  let topo = Builders.star ~radius_m:70.0 6 in
+  check Alcotest.int "hub plus leaves" 7 (Topology.n_nodes topo);
+  for leaf = 1 to 6 do
+    check float_tol (Printf.sprintf "leaf %d radius" leaf) 70.0 (Topology.node_distance topo 0 leaf)
+  done
+
+let test_builder_validation () =
+  Alcotest.check_raises "chain n" (Invalid_argument "Builders.chain: need at least one node")
+    (fun () -> ignore (Builders.chain ~spacing_m:10.0 0));
+  Alcotest.check_raises "grid dims" (Invalid_argument "Builders.grid: non-positive dimensions")
+    (fun () -> ignore (Builders.grid ~pitch_m:10.0 ~rows:0 3));
+  Alcotest.check_raises "star radius" (Invalid_argument "Builders.star: radius must be positive")
+    (fun () -> ignore (Builders.star ~radius_m:0.0 3))
+
+let builders_suite =
+  [
+    Alcotest.test_case "chain builder" `Quick test_chain_builder;
+    Alcotest.test_case "chain builder out of range" `Quick test_chain_builder_out_of_range;
+    Alcotest.test_case "grid builder" `Quick test_grid_builder;
+    Alcotest.test_case "star builder" `Quick test_star_builder;
+    Alcotest.test_case "builder validation" `Quick test_builder_validation;
+  ]
+
+let suite = suite @ builders_suite

@@ -1,0 +1,166 @@
+(* Tests for Wsn_prng: determinism, ranges, stream independence. *)
+
+module Splitmix64 = Wsn_prng.Splitmix64
+module Pcg32 = Wsn_prng.Pcg32
+module Streams = Wsn_prng.Streams
+
+let check = Alcotest.check
+
+let test_splitmix_deterministic () =
+  let a = Splitmix64.create 42L and b = Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Splitmix64.next_int64 a) (Splitmix64.next_int64 b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Splitmix64.create 1L and b = Splitmix64.create 2L in
+  check Alcotest.bool "different first draw" true
+    (Splitmix64.next_int64 a <> Splitmix64.next_int64 b)
+
+let test_splitmix_copy_independent () =
+  let a = Splitmix64.create 7L in
+  let _ = Splitmix64.next_int64 a in
+  let b = Splitmix64.copy a in
+  check Alcotest.int64 "copies agree" (Splitmix64.next_int64 a) (Splitmix64.next_int64 b)
+
+let test_splitmix_split_diverges () =
+  let a = Splitmix64.create 7L in
+  let b = Splitmix64.split a in
+  check Alcotest.bool "split diverges" true (Splitmix64.next_int64 a <> Splitmix64.next_int64 b)
+
+let test_splitmix_float_range () =
+  let g = Splitmix64.create 13L in
+  for _ = 1 to 10_000 do
+    let x = Splitmix64.next_float g in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_splitmix_below_rejects_bad () =
+  let g = Splitmix64.create 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix64.next_below: n must be positive")
+    (fun () -> ignore (Splitmix64.next_below g 0))
+
+let test_pcg_deterministic () =
+  let a = Pcg32.create 42L and b = Pcg32.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int32 "same stream" (Pcg32.next_int32 a) (Pcg32.next_int32 b)
+  done
+
+let test_pcg_sequence_independence () =
+  let a = Pcg32.create ~sequence:1L 42L and b = Pcg32.create ~sequence:2L 42L in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Pcg32.next_int32 a <> Pcg32.next_int32 b then differs := true
+  done;
+  check Alcotest.bool "sequences differ" true !differs
+
+let test_pcg_uniform_bounds () =
+  let g = Pcg32.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Pcg32.uniform g 2.0 5.0 in
+    if x < 2.0 || x >= 5.0 then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_pcg_uniform_bad_bounds () =
+  let g = Pcg32.create 3L in
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Pcg32.uniform: hi < lo") (fun () ->
+      ignore (Pcg32.uniform g 5.0 2.0))
+
+let test_pcg_exponential_positive () =
+  let g = Pcg32.create 5L in
+  for _ = 1 to 1000 do
+    if Pcg32.exponential g 2.0 < 0.0 then Alcotest.fail "negative exponential draw"
+  done
+
+let test_pcg_exponential_mean () =
+  let g = Pcg32.create 5L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Pcg32.exponential g 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.02 then Alcotest.failf "Exp(2) mean %f too far from 0.5" mean
+
+let test_pcg_shuffle_is_permutation () =
+  let g = Pcg32.create 9L in
+  let a = Array.init 50 Fun.id in
+  Pcg32.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_pcg_pick_member () =
+  let g = Pcg32.create 9L in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let x = Pcg32.pick g a in
+    if not (Array.mem x a) then Alcotest.failf "pick returned non-member %d" x
+  done
+
+let test_streams_stable () =
+  let s = Streams.create 99L in
+  let a = Streams.stream s "topology" and b = Streams.stream s "topology" in
+  for _ = 1 to 50 do
+    check Alcotest.int32 "same named stream" (Pcg32.next_int32 a) (Pcg32.next_int32 b)
+  done
+
+let test_streams_distinct () =
+  let s = Streams.create 99L in
+  let a = Streams.stream s "topology" and b = Streams.stream s "traffic" in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Pcg32.next_int32 a <> Pcg32.next_int32 b then differs := true
+  done;
+  check Alcotest.bool "named streams differ" true !differs;
+  check Alcotest.int64 "seed readback" 99L (Streams.seed s)
+
+let qcheck_next_below_in_range =
+  QCheck.Test.make ~name:"pcg next_below stays in range" ~count:1000
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, n) ->
+      let g = Pcg32.create seed in
+      let x = Pcg32.next_below g n in
+      x >= 0 && x < n)
+
+let qcheck_splitmix_below_in_range =
+  QCheck.Test.make ~name:"splitmix next_below stays in range" ~count:1000
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, n) ->
+      let g = Splitmix64.create seed in
+      let x = Splitmix64.next_below g n in
+      x >= 0 && x < n)
+
+let suite =
+  [
+    Alcotest.test_case "splitmix deterministic" `Quick test_splitmix_deterministic;
+    Alcotest.test_case "splitmix seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+    Alcotest.test_case "splitmix copy" `Quick test_splitmix_copy_independent;
+    Alcotest.test_case "splitmix split diverges" `Quick test_splitmix_split_diverges;
+    Alcotest.test_case "splitmix float range" `Quick test_splitmix_float_range;
+    Alcotest.test_case "splitmix below validation" `Quick test_splitmix_below_rejects_bad;
+    Alcotest.test_case "pcg deterministic" `Quick test_pcg_deterministic;
+    Alcotest.test_case "pcg sequence independence" `Quick test_pcg_sequence_independence;
+    Alcotest.test_case "pcg uniform bounds" `Quick test_pcg_uniform_bounds;
+    Alcotest.test_case "pcg uniform validation" `Quick test_pcg_uniform_bad_bounds;
+    Alcotest.test_case "pcg exponential positive" `Quick test_pcg_exponential_positive;
+    Alcotest.test_case "pcg exponential mean" `Slow test_pcg_exponential_mean;
+    Alcotest.test_case "pcg shuffle permutation" `Quick test_pcg_shuffle_is_permutation;
+    Alcotest.test_case "pcg pick member" `Quick test_pcg_pick_member;
+    Alcotest.test_case "streams stable" `Quick test_streams_stable;
+    Alcotest.test_case "streams distinct" `Quick test_streams_distinct;
+    QCheck_alcotest.to_alcotest qcheck_next_below_in_range;
+    QCheck_alcotest.to_alcotest qcheck_splitmix_below_in_range;
+  ]
+
+let test_streams_master_seed_matters () =
+  let a = Streams.stream (Streams.create 1L) "x" and b = Streams.stream (Streams.create 2L) "x" in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Pcg32.next_int32 a <> Pcg32.next_int32 b then differs := true
+  done;
+  Alcotest.(check bool) "masters differ" true !differs
+
+let extra_suite = [ Alcotest.test_case "streams master seed" `Quick test_streams_master_seed_matters ]
+
+let suite = suite @ extra_suite

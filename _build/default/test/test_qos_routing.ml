@@ -1,0 +1,157 @@
+(* Tests for Wsn_routing.Qos_routing and the strategy-driven admission
+   (E7's machinery). *)
+
+module Qos_routing = Wsn_routing.Qos_routing
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Topology = Wsn_net.Topology
+module Point = Wsn_net.Point
+module Model = Wsn_conflict.Model
+module Schedule = Wsn_sched.Schedule
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+
+let check = Alcotest.check
+
+let line_topo () =
+  Topology.create (Array.init 4 (fun i -> Point.make (55.0 *. float_of_int i) 0.0))
+
+let link topo s d =
+  match Wsn_graph.Digraph.find_edge (Topology.graph topo) ~src:s ~dst:d with
+  | Some e -> e.Wsn_graph.Digraph.id
+  | None -> Alcotest.failf "missing link %d->%d" s d
+
+let all_estimators =
+  [
+    Qos_routing.Bottleneck;
+    Qos_routing.Clique_constraint;
+    Qos_routing.Min_clique_bottleneck;
+    Qos_routing.Conservative;
+    Qos_routing.Expected_clique_time;
+  ]
+
+let test_names () =
+  check Alcotest.string "estimator name" "conservative(13)"
+    (Qos_routing.estimator_name Qos_routing.Conservative);
+  check Alcotest.string "strategy name" "select-conservative(13)-k4"
+    (Qos_routing.strategy_name
+       (Qos_routing.Estimator_select { k = 4; estimator = Qos_routing.Conservative }));
+  check Alcotest.string "oracle name" "oracle-k3"
+    (Qos_routing.strategy_name (Qos_routing.Oracle_select { k = 3 }))
+
+let test_estimate_idle_network () =
+  (* On a silent channel, estimates on a single 54 Mbps link are 54. *)
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  let path = [ link topo 0 1 ] in
+  List.iter
+    (fun est ->
+      check (Alcotest.float 1e-9)
+        (Qos_routing.estimator_name est)
+        54.0
+        (Qos_routing.estimate_path topo model ~schedule:Schedule.empty est path))
+    all_estimators
+
+let test_estimate_multihop_accounts_interference () =
+  (* Three mutually-interfering 54 Mbps hops: clique-aware estimators
+     say 18, the bottleneck says 54. *)
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  let path = [ link topo 0 1; link topo 1 2; link topo 2 3 ] in
+  check (Alcotest.float 1e-9) "bottleneck blind to interference" 54.0
+    (Qos_routing.estimate_path topo model ~schedule:Schedule.empty Qos_routing.Bottleneck path);
+  check (Alcotest.float 1e-9) "clique-aware" 18.0
+    (Qos_routing.estimate_path topo model ~schedule:Schedule.empty Qos_routing.Clique_constraint
+       path)
+
+let test_find_path_returns_route () =
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  List.iter
+    (fun strategy ->
+      match Qos_routing.find_path topo model ~background:[] ~strategy ~source:0 ~target:3 with
+      | Some p ->
+        check Alcotest.bool "non-empty" true (p <> []);
+        (* The route must actually start at 0 and end at 3. *)
+        let first = Topology.link topo (List.hd p) in
+        let last = Topology.link topo (List.nth p (List.length p - 1)) in
+        check Alcotest.int "starts at source" 0 first.Wsn_graph.Digraph.src;
+        check Alcotest.int "ends at target" 3 last.Wsn_graph.Digraph.dst
+      | None -> Alcotest.fail "route exists")
+    [
+      Qos_routing.Estimator_select { k = 3; estimator = Qos_routing.Conservative };
+      Qos_routing.Oracle_select { k = 3 };
+    ]
+
+let test_find_path_no_route () =
+  let topo = Topology.create [| Point.make 0.0 0.0; Point.make 900.0 0.0 |] in
+  let model = Model.physical topo in
+  check Alcotest.bool "no route" true
+    (Qos_routing.find_path topo model ~background:[]
+       ~strategy:(Qos_routing.Oracle_select { k = 2 })
+       ~source:0 ~target:1
+     = None)
+
+let test_oracle_picks_best_candidate () =
+  (* With background saturating the fast route, the oracle must detour
+     where plain e2eTD would not. *)
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  (* Saturate link 1->2 (the middle of the fast route). *)
+  let background = [ Flow.make ~path:[ link topo 1 2 ] ~demand_mbps:40.0 ] in
+  match
+    Qos_routing.find_path topo model ~background
+      ~strategy:(Qos_routing.Oracle_select { k = 4 })
+      ~source:0 ~target:3
+  with
+  | Some oracle_path ->
+    let truth p =
+      match Path_bandwidth.available model ~background ~path:p with
+      | Some r -> r.Path_bandwidth.bandwidth_mbps
+      | None -> 0.0
+    in
+    (* The oracle's route is at least as good as the straight one. *)
+    let straight = [ link topo 0 1; link topo 1 2; link topo 2 3 ] in
+    check Alcotest.bool "oracle >= straight route" true
+      (truth oracle_path >= truth straight -. 1e-6)
+  | None -> Alcotest.fail "route exists"
+
+let test_run_strategy_admission () =
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  let run =
+    Admission.run_strategy topo model
+      ~strategy:(Qos_routing.Estimator_select { k = 3; estimator = Qos_routing.Conservative })
+      ~flows:[ (0, 3, 2.0); (3, 0, 2.0) ]
+  in
+  check Alcotest.string "label" "select-conservative(13)-k3" run.Admission.label;
+  check Alcotest.int "both processed" 2 (List.length run.Admission.steps);
+  List.iter
+    (fun (s : Admission.step) -> check Alcotest.bool "admitted" true s.Admission.admitted)
+    run.Admission.steps
+
+let test_strategies_vs_metrics_on_seed30 () =
+  (* Regression anchor for E7: the oracle is never worse than hop count. *)
+  let t = Wsn_experiments.Routing_strategies.compute ~seed:30L () in
+  let find label =
+    (List.find (fun (e : Wsn_experiments.Routing_strategies.entry) -> e.label = label) t.entries)
+      .admitted
+  in
+  let hop = find "hop-count" in
+  let oracle = find "oracle-k4" in
+  let conservative = find "select-conservative(13)-k4" in
+  check Alcotest.bool "oracle >= hop" true (oracle >= hop);
+  check Alcotest.bool "conservative-select >= hop" true (conservative >= hop);
+  check Alcotest.int "seed-30 oracle admits 7" 7 oracle
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "estimate on idle network" `Quick test_estimate_idle_network;
+    Alcotest.test_case "estimate multihop interference" `Quick test_estimate_multihop_accounts_interference;
+    Alcotest.test_case "find_path returns route" `Quick test_find_path_returns_route;
+    Alcotest.test_case "find_path no route" `Quick test_find_path_no_route;
+    Alcotest.test_case "oracle picks best candidate" `Quick test_oracle_picks_best_candidate;
+    Alcotest.test_case "run_strategy admission" `Quick test_run_strategy_admission;
+    Alcotest.test_case "strategies regression (seed 30)" `Slow test_strategies_vs_metrics_on_seed30;
+  ]

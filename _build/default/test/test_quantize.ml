@@ -1,0 +1,112 @@
+(* Tests for Wsn_sched.Quantize: TDMA rounding of fractional
+   schedules. *)
+
+module Schedule = Wsn_sched.Schedule
+module Quantize = Wsn_sched.Quantize
+module Model = Wsn_conflict.Model
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-9
+
+let table = Model.rates S2.model
+
+let slot links rates share = { Schedule.links; rates; share }
+
+let chain_optimal () = (Path_bandwidth.path_capacity S2.model ~path:S2.path).Path_bandwidth.schedule
+
+let test_exact_shares_survive () =
+  (* Shares that are already multiples of 1/10 round to themselves. *)
+  let s = Schedule.make [ slot [ 0 ] [ 0 ] 0.3; slot [ 1 ] [ 0 ] 0.7 ] in
+  let q = Quantize.tdma s ~slots:10 in
+  check float_tol "share 0.3 kept" 0.3 (List.nth (Schedule.slots q) 0).Schedule.share;
+  check float_tol "share 0.7 kept" 0.7 (List.nth (Schedule.slots q) 1).Schedule.share;
+  check float_tol "total kept" 1.0 (Schedule.total_share q)
+
+let test_never_exceeds_frame () =
+  let s = Schedule.make [ slot [ 0 ] [ 0 ] 0.34; slot [ 1 ] [ 0 ] 0.33; slot [ 2 ] [ 0 ] 0.33 ] in
+  List.iter
+    (fun n ->
+      let q = Quantize.tdma s ~slots:n in
+      if Schedule.total_share q > 1.0 +. 1e-9 then Alcotest.failf "frame overflow at n=%d" n)
+    [ 1; 2; 3; 7; 16; 100 ]
+
+let test_starved_slot_dropped () =
+  let s = Schedule.make [ slot [ 0 ] [ 0 ] 0.9; slot [ 1 ] [ 0 ] 0.01 ] in
+  let q = Quantize.tdma s ~slots:10 in
+  (* 0.01 of 10 slots rounds to nothing (0.9 has remainder 0 too, and
+     airtime target floor(0.91*10)=9 = floor(9)+0... leftover goes to
+     the largest remainder, which is 0.1 of the 0.01 share -> it may get
+     the bonus slot.  Either way the frame holds at most 10 slots. *)
+  check Alcotest.bool "total within frame" true (Schedule.total_share q <= 1.0 +. 1e-9)
+
+let test_feasibility_preserved () =
+  (* Quantisation only changes shares, so a feasible schedule stays
+     feasible. *)
+  let q = Quantize.tdma (chain_optimal ()) ~slots:10 in
+  check Alcotest.bool "still feasible" true (Schedule.is_feasible S2.model q)
+
+let test_chain_schedule_exact_at_10 () =
+  (* The 16.2 optimum's shares are 0.1/0.3/0.3/0.3: exactly representable
+     in a 10-slot frame, so quantisation is lossless. *)
+  let q = Quantize.tdma (chain_optimal ()) ~slots:10 in
+  List.iter
+    (fun l -> check float_tol (Printf.sprintf "link %d" l) 16.2 (Schedule.throughput table q l))
+    S2.path
+
+let test_convergence () =
+  (* Throughput loss vanishes as the frame grows. *)
+  let s = Schedule.make [ slot [ 0 ] [ 0 ] (1.0 /. 3.0); slot [ 1 ] [ 0 ] (1.0 /. 7.0) ] in
+  let loss n =
+    let q = Quantize.tdma s ~slots:n in
+    Float.abs (Schedule.throughput table s 0 -. Schedule.throughput table q 0)
+    +. Float.abs (Schedule.throughput table s 1 -. Schedule.throughput table q 1)
+  in
+  check Alcotest.bool "loss shrinks" true (loss 10_000 < loss 10);
+  check Alcotest.bool "loss small at 10k" true (loss 10_000 < 0.02)
+
+let test_frame_layout () =
+  let s = Schedule.make [ slot [ 0 ] [ 0 ] 0.5; slot [ 1 ] [ 0 ] 0.25 ] in
+  let layout = Quantize.frame s ~slots:4 in
+  check Alcotest.int "frame length" 4 (Array.length layout);
+  let occupied = Array.to_list layout |> List.filter Option.is_some |> List.length in
+  check Alcotest.int "three occupied slots" 3 occupied;
+  (* First two slots belong to the 0.5 activation, third to the 0.25. *)
+  (match (layout.(0), layout.(2)) with
+   | Some a, Some b ->
+     check (Alcotest.list Alcotest.int) "first run" [ 0 ] a.Schedule.links;
+     check (Alcotest.list Alcotest.int) "second run" [ 1 ] b.Schedule.links
+   | _ -> Alcotest.fail "expected occupied slots");
+  check Alcotest.bool "tail idle" true (layout.(3) = None)
+
+let test_validation () =
+  Alcotest.check_raises "bad slot count" (Invalid_argument "Quantize: slots must be positive")
+    (fun () -> ignore (Quantize.tdma Schedule.empty ~slots:0))
+
+let qcheck_quantized_always_feasible_frame =
+  QCheck.Test.make ~name:"quantised schedule fits the frame and loses little" ~count:100
+    QCheck.(pair (int_range 1 200) (list_of_size Gen.(int_range 1 4) (float_range 0.01 0.4)))
+    (fun (n, shares) ->
+      let total = List.fold_left ( +. ) 0.0 shares in
+      QCheck.assume (total <= 1.0);
+      let s =
+        Schedule.make (List.mapi (fun i sh -> slot [ i mod 4 ] [ 0 ] sh) shares)
+      in
+      let q = Quantize.tdma s ~slots:n in
+      Schedule.total_share q <= 1.0 +. 1e-9
+      && Schedule.total_share q >= total -. (float_of_int (List.length shares + 1) /. float_of_int n) -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "exact shares survive" `Quick test_exact_shares_survive;
+    Alcotest.test_case "never exceeds frame" `Quick test_never_exceeds_frame;
+    Alcotest.test_case "starved slot dropped" `Quick test_starved_slot_dropped;
+    Alcotest.test_case "feasibility preserved" `Quick test_feasibility_preserved;
+    Alcotest.test_case "chain exact at 10 slots" `Quick test_chain_schedule_exact_at_10;
+    Alcotest.test_case "convergence" `Quick test_convergence;
+    Alcotest.test_case "frame layout" `Quick test_frame_layout;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest qcheck_quantized_always_feasible_frame;
+  ]

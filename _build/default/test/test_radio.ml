@@ -1,0 +1,133 @@
+(* Tests for Wsn_radio: rate tables, propagation, PHY invariants. *)
+
+module Rate = Wsn_radio.Rate
+module Propagation = Wsn_radio.Propagation
+module Phy = Wsn_radio.Phy
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-9
+
+let test_dot11a_table () =
+  check Alcotest.int "four rates" 4 (Rate.n_rates Rate.dot11a);
+  check float_tol "fastest" 54.0 (Rate.mbps Rate.dot11a (Rate.fastest Rate.dot11a));
+  check float_tol "slowest" 6.0 (Rate.mbps Rate.dot11a (Rate.slowest Rate.dot11a));
+  check float_tol "54 range" 59.0 (Rate.range_m Rate.dot11a 0);
+  check float_tol "6 range" 158.0 (Rate.range_m Rate.dot11a 3);
+  check float_tol "54 snr linear" (10.0 ** 2.456) (Rate.snr_linear Rate.dot11a 0)
+
+let test_table_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Rate.make_table: empty table") (fun () ->
+      ignore (Rate.make_table []));
+  Alcotest.check_raises "non-decreasing rates"
+    (Invalid_argument "Rate.make_table: rates must strictly decrease") (fun () ->
+      ignore
+        (Rate.make_table
+           [
+             { Rate.mbps = 10.0; range_m = 50.0; snr_db = 10.0 };
+             { Rate.mbps = 20.0; range_m = 80.0; snr_db = 5.0 };
+           ]))
+
+let test_best_at_distance () =
+  let tbl = Rate.dot11a in
+  check (Alcotest.option Alcotest.int) "very close" (Some 0) (Rate.best_at_distance tbl 10.0);
+  check (Alcotest.option Alcotest.int) "exactly 59" (Some 0) (Rate.best_at_distance tbl 59.0);
+  check (Alcotest.option Alcotest.int) "just past 59" (Some 1) (Rate.best_at_distance tbl 59.1);
+  check (Alcotest.option Alcotest.int) "mid" (Some 2) (Rate.best_at_distance tbl 100.0);
+  check (Alcotest.option Alcotest.int) "edge" (Some 3) (Rate.best_at_distance tbl 158.0);
+  check (Alcotest.option Alcotest.int) "out of range" None (Rate.best_at_distance tbl 158.1)
+
+let test_propagation () =
+  let p = Propagation.create () in
+  check float_tol "exponent" 4.0 (Propagation.exponent p);
+  check float_tol "gain at 1m" 1.0 (Propagation.gain p 1.0);
+  check float_tol "gain at 10m" 1e-4 (Propagation.gain p 10.0);
+  check float_tol "near-field clamp" 1.0 (Propagation.gain p 0.01);
+  check float_tol "db round trip" 7.5 (Propagation.db_of_ratio (Propagation.ratio_of_db 7.5))
+
+let test_propagation_validation () =
+  Alcotest.check_raises "bad exponent"
+    (Invalid_argument "Propagation.create: exponent must be positive") (fun () ->
+      ignore (Propagation.create ~exponent:0.0 ()))
+
+let test_phy_ranges_exact () =
+  (* By construction the published alone-ranges are exact boundaries. *)
+  let phy = Phy.default in
+  List.iter
+    (fun r ->
+      let range = Rate.range_m Rate.dot11a r in
+      (match Phy.best_rate_alone phy range with
+       | Some got -> check Alcotest.int (Printf.sprintf "alone at %gm" range) r got
+       | None -> Alcotest.failf "no rate at range %g" range);
+      (* A metre past the slowest boundary nothing works. *)
+      ())
+    (Rate.all Rate.dot11a);
+  check (Alcotest.option Alcotest.int) "past slowest" None (Phy.best_rate_alone phy 159.0)
+
+let test_phy_snr_margin_at_boundaries () =
+  (* At each rate's alone-range the SNR must meet that rate's
+     requirement: sensitivity is binding, not SINR (DESIGN.md). *)
+  let phy = Phy.default in
+  List.iter
+    (fun r ->
+      let d = Rate.range_m Rate.dot11a r in
+      let snr = Phy.received_power phy d /. Phy.noise_power phy in
+      if snr < Rate.snr_linear Rate.dot11a r then
+        Alcotest.failf "SNR below requirement at rate %d's range" r)
+    (Rate.all Rate.dot11a)
+
+let test_phy_sinr_monotone_in_interference () =
+  let phy = Phy.default in
+  let s1 = Phy.sinr phy ~signal_distance:50.0 ~interferer_distances:[ 200.0 ] in
+  let s2 = Phy.sinr phy ~signal_distance:50.0 ~interferer_distances:[ 200.0; 300.0 ] in
+  let s0 = Phy.sinr phy ~signal_distance:50.0 ~interferer_distances:[] in
+  check Alcotest.bool "more interference, less SINR" true (s0 > s1 && s1 > s2)
+
+let test_phy_rate_under_interference_degrades () =
+  let phy = Phy.default in
+  let alone = Phy.best_rate_under phy ~signal_distance:55.0 ~interferer_distances:[] in
+  let near = Phy.best_rate_under phy ~signal_distance:55.0 ~interferer_distances:[ 150.0 ] in
+  check (Alcotest.option Alcotest.int) "alone is 54" (Some 0) alone;
+  (match near with
+   | None -> ()
+   | Some r -> check Alcotest.bool "interference slows or kills" true (r > 0));
+  (* An interferer on top of the receiver kills everything. *)
+  check (Alcotest.option Alcotest.int) "jammed" None
+    (Phy.best_rate_under phy ~signal_distance:55.0 ~interferer_distances:[ 1.0 ])
+
+let test_phy_carrier_sense () =
+  let phy = Phy.default in
+  check Alcotest.bool "hears at 100m" true (Phy.carrier_sensed phy 100.0);
+  check Alcotest.bool "hears at cs range" true (Phy.carrier_sensed phy (Phy.cs_range phy));
+  check Alcotest.bool "deaf past cs range" false
+    (Phy.carrier_sensed phy (Phy.cs_range phy +. 1.0));
+  check float_tol "default cs range" (1.4 *. 158.0) (Phy.cs_range phy)
+
+let test_phy_custom_cs_factor () =
+  let phy = Phy.create ~cs_range_factor:2.0 Rate.dot11a in
+  check float_tol "cs range scales" 316.0 (Phy.cs_range phy);
+  Alcotest.check_raises "factor below one" (Invalid_argument "Phy.create: cs_range_factor < 1.0")
+    (fun () -> ignore (Phy.create ~cs_range_factor:0.5 Rate.dot11a))
+
+let qcheck_best_rate_alone_matches_table =
+  QCheck.Test.make ~name:"best_rate_alone = best_at_distance" ~count:500
+    QCheck.(float_range 1.0 200.0)
+    (fun d ->
+      let phy = Phy.default in
+      Phy.best_rate_alone phy d = Rate.best_at_distance Rate.dot11a d)
+
+let suite =
+  [
+    Alcotest.test_case "802.11a table" `Quick test_dot11a_table;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+    Alcotest.test_case "best rate at distance" `Quick test_best_at_distance;
+    Alcotest.test_case "propagation" `Quick test_propagation;
+    Alcotest.test_case "propagation validation" `Quick test_propagation_validation;
+    Alcotest.test_case "phy ranges exact" `Quick test_phy_ranges_exact;
+    Alcotest.test_case "phy snr margin" `Quick test_phy_snr_margin_at_boundaries;
+    Alcotest.test_case "phy sinr monotone" `Quick test_phy_sinr_monotone_in_interference;
+    Alcotest.test_case "phy rate degrades" `Quick test_phy_rate_under_interference_degrades;
+    Alcotest.test_case "phy carrier sense" `Quick test_phy_carrier_sense;
+    Alcotest.test_case "phy custom cs factor" `Quick test_phy_custom_cs_factor;
+    QCheck_alcotest.to_alcotest qcheck_best_rate_alone_matches_table;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for Wsn_routing: metrics, path search, and the admission
+   pipeline (with a seed-30 regression anchoring Fig. 3's shape). *)
+
+module Metrics = Wsn_routing.Metrics
+module Router = Wsn_routing.Router
+module Admission = Wsn_routing.Admission
+module Topology = Wsn_net.Topology
+module Point = Wsn_net.Point
+module Model = Wsn_conflict.Model
+module Flow = Wsn_availbw.Flow
+module RS = Wsn_workload.Scenarios.Random_scenario
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-9
+
+(* Line of four nodes 55 m apart: adjacent hops at 54 Mbps, two-hop
+   shortcuts at 18 Mbps (110 m). *)
+let line_topo () =
+  Topology.create (Array.init 4 (fun i -> Point.make (55.0 *. float_of_int i) 0.0))
+
+let link topo s d =
+  match Wsn_graph.Digraph.find_edge (Topology.graph topo) ~src:s ~dst:d with
+  | Some e -> e.Wsn_graph.Digraph.id
+  | None -> Alcotest.failf "missing link %d->%d" s d
+
+let test_metric_weights () =
+  let topo = line_topo () in
+  let e = Topology.link topo (link topo 0 1) in
+  let idleness _ = 0.5 in
+  check float_tol "hop weight" 1.0 (Metrics.weight topo ~idleness Metrics.Hop_count e);
+  check float_tol "e2eTD weight" (1.0 /. 54.0)
+    (Metrics.weight topo ~idleness Metrics.E2e_transmission_delay e);
+  check float_tol "avg-e2eD weight" (1.0 /. 27.0)
+    (Metrics.weight topo ~idleness Metrics.Average_e2e_delay e)
+
+let test_metric_zero_idleness_unusable () =
+  let topo = line_topo () in
+  let e = Topology.link topo (link topo 0 1) in
+  check Alcotest.bool "infinite cost" true
+    (Metrics.weight topo ~idleness:(fun _ -> 0.0) Metrics.Average_e2e_delay e = infinity)
+
+let test_metric_names () =
+  check (Alcotest.list Alcotest.string) "names"
+    [ "hop-count"; "e2eTD"; "average-e2eD" ]
+    (List.map Metrics.name Metrics.all)
+
+let test_hop_count_prefers_shortcuts () =
+  (* 0 -> 3: hop count takes the 2-hop route through the 110 m (18 Mbps)
+     shortcuts; e2eTD prefers three fast 54 Mbps hops
+     (2/18 = 0.111 > 3/54 = 0.055). *)
+  let topo = line_topo () in
+  let idleness _ = 1.0 in
+  (match Router.find_path topo ~metric:Metrics.Hop_count ~idleness ~source:0 ~target:3 with
+   | Some p -> check Alcotest.int "hop count: 2 hops" 2 (List.length p)
+   | None -> Alcotest.fail "route exists");
+  match Router.find_path topo ~metric:Metrics.E2e_transmission_delay ~idleness ~source:0 ~target:3 with
+  | Some p ->
+    check Alcotest.int "e2eTD: 3 hops" 3 (List.length p);
+    List.iter (fun l -> check float_tol "54 Mbps hop" 54.0 (Topology.alone_mbps topo l)) p
+  | None -> Alcotest.fail "route exists"
+
+let test_avg_e2ed_routes_around_busy_links () =
+  (* Make the fast middle link appear busy: average-e2eD detours. *)
+  let topo = line_topo () in
+  let busy_link = link topo 1 2 in
+  let idleness l = if l = busy_link then 0.02 else 1.0 in
+  match Router.find_path topo ~metric:Metrics.Average_e2e_delay ~idleness ~source:0 ~target:3 with
+  | Some p -> check Alcotest.bool "detours off the busy link" false (List.mem busy_link p)
+  | None -> Alcotest.fail "route exists"
+
+let test_candidate_paths () =
+  let topo = line_topo () in
+  let idleness _ = 1.0 in
+  let paths = Router.candidate_paths topo ~metric:Metrics.Hop_count ~idleness ~source:0 ~target:3 ~k:3 in
+  check Alcotest.bool "several candidates" true (List.length paths >= 2);
+  (* Candidates are distinct. *)
+  check Alcotest.int "distinct" (List.length paths)
+    (List.length (List.sort_uniq compare paths))
+
+let test_no_route () =
+  let topo = Topology.create [| Point.make 0.0 0.0; Point.make 1000.0 0.0 |] in
+  check Alcotest.bool "no route" true
+    (Router.find_path topo ~metric:Metrics.Hop_count ~idleness:(fun _ -> 1.0) ~source:0 ~target:1
+     = None)
+
+(* --- admission ------------------------------------------------------ *)
+
+let test_admission_single_flow () =
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  let run = Admission.run topo model ~metric:Metrics.E2e_transmission_delay ~flows:[ (0, 3, 2.0) ] in
+  (match run.Admission.steps with
+   | [ step ] ->
+     check Alcotest.bool "admitted" true step.Admission.admitted;
+     check Alcotest.bool "has a path" true (step.Admission.path <> None);
+     check Alcotest.bool "bandwidth covers demand" true (step.Admission.available_mbps >= 2.0)
+   | _ -> Alcotest.fail "one step expected");
+  check (Alcotest.option Alcotest.int) "no failure" None run.Admission.first_failure;
+  check Alcotest.int "one background flow at end" 1 (List.length (Admission.admitted_flows run))
+
+let test_admission_rejects_oversized_demand () =
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  let run = Admission.run topo model ~metric:Metrics.E2e_transmission_delay ~flows:[ (0, 3, 100.0) ] in
+  (match run.Admission.steps with
+   | [ step ] -> check Alcotest.bool "rejected" false step.Admission.admitted
+   | _ -> Alcotest.fail "one step expected");
+  check (Alcotest.option Alcotest.int) "failure recorded" (Some 1) run.Admission.first_failure
+
+let test_admission_stop_on_failure () =
+  let topo = line_topo () in
+  let model = Model.physical topo in
+  let flows = [ (0, 3, 100.0); (0, 1, 1.0) ] in
+  let stopped = Admission.run topo model ~metric:Metrics.Hop_count ~flows in
+  check Alcotest.int "stops after first failure" 1 (List.length stopped.Admission.steps);
+  let kept_going = Admission.run ~stop_on_failure:false topo model ~metric:Metrics.Hop_count ~flows in
+  check Alcotest.int "processes both" 2 (List.length kept_going.Admission.steps);
+  match kept_going.Admission.steps with
+  | [ _; second ] -> check Alcotest.bool "later flow admitted" true second.Admission.admitted
+  | _ -> Alcotest.fail "two steps expected"
+
+let test_admission_seed30_regression () =
+  (* The repository's Fig. 3 instance: hop count fails at the 4th flow,
+     e2eTD at the 6th, average-e2eD at the 8th (paper: 3rd/5th/8th). *)
+  let scenario = RS.generate ~seed:30L () in
+  let expect = [ (Metrics.Hop_count, 4); (Metrics.E2e_transmission_delay, 6); (Metrics.Average_e2e_delay, 8) ] in
+  List.iter
+    (fun (metric, failure) ->
+      let run = Admission.run scenario.RS.topology scenario.RS.model ~metric ~flows:scenario.RS.flows in
+      check
+        (Alcotest.option Alcotest.int)
+        (Printf.sprintf "%s first failure" (Metrics.name metric))
+        (Some failure) run.Admission.first_failure)
+    expect
+
+let test_admitted_background_always_feasible () =
+  let scenario = RS.generate ~seed:8L () in
+  let run =
+    Admission.run scenario.RS.topology scenario.RS.model ~metric:Metrics.Average_e2e_delay
+      ~flows:scenario.RS.flows
+  in
+  let background = Admission.admitted_flows run in
+  check Alcotest.bool "admitted set schedulable" true
+    (Wsn_availbw.Path_bandwidth.feasible scenario.RS.model background)
+
+let suite =
+  [
+    Alcotest.test_case "metric weights" `Quick test_metric_weights;
+    Alcotest.test_case "zero idleness unusable" `Quick test_metric_zero_idleness_unusable;
+    Alcotest.test_case "metric names" `Quick test_metric_names;
+    Alcotest.test_case "hop count prefers shortcuts" `Quick test_hop_count_prefers_shortcuts;
+    Alcotest.test_case "avg-e2eD avoids busy links" `Quick test_avg_e2ed_routes_around_busy_links;
+    Alcotest.test_case "candidate paths" `Quick test_candidate_paths;
+    Alcotest.test_case "no route" `Quick test_no_route;
+    Alcotest.test_case "admission single flow" `Quick test_admission_single_flow;
+    Alcotest.test_case "admission rejects oversized" `Quick test_admission_rejects_oversized_demand;
+    Alcotest.test_case "admission stop on failure" `Quick test_admission_stop_on_failure;
+    Alcotest.test_case "admission seed-30 regression" `Slow test_admission_seed30_regression;
+    Alcotest.test_case "admitted background feasible" `Slow test_admitted_background_always_feasible;
+  ]

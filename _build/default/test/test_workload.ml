@@ -1,0 +1,80 @@
+(* Tests for Wsn_workload: the Fig. 1 scenarios and the random
+   generator. *)
+
+module S1 = Wsn_workload.Scenarios.Scenario_i
+module S2 = Wsn_workload.Scenarios.Scenario_ii
+module RS = Wsn_workload.Scenarios.Random_scenario
+module Model = Wsn_conflict.Model
+module Flow = Wsn_availbw.Flow
+module Topology = Wsn_net.Topology
+
+let check = Alcotest.check
+
+let float_tol = Alcotest.float 1e-9
+
+let test_scenario_i_structure () =
+  check Alcotest.int "three links" 3 (Model.n_links S1.model);
+  (* L0 and L1 are mutually independent; L2 conflicts with both. *)
+  check Alcotest.bool "0 and 1 concurrent" true (Model.independent S1.model [ 0; 1 ]);
+  check Alcotest.bool "0 and 2 conflict" false (Model.independent S1.model [ 0; 2 ]);
+  check Alcotest.bool "1 and 2 conflict" false (Model.independent S1.model [ 1; 2 ])
+
+let test_scenario_i_background () =
+  let bg = S1.background ~lambda:0.2 in
+  check Alcotest.int "two flows" 2 (List.length bg);
+  List.iter (fun f -> check float_tol "demand" (0.2 *. 54.0) f.Flow.demand_mbps) bg;
+  Alcotest.check_raises "lambda over half"
+    (Invalid_argument "Scenario_i: lambda must be in [0, 0.5]") (fun () ->
+      ignore (S1.background ~lambda:0.6))
+
+let test_scenario_i_formulas () =
+  check float_tol "optimal at 0" 54.0 (S1.optimal_bandwidth ~lambda:0.0);
+  check float_tol "optimal at 0.5" 27.0 (S1.optimal_bandwidth ~lambda:0.5);
+  check float_tol "naive at 0.5" 0.0 (S1.idle_time_estimate ~lambda:0.5);
+  check Alcotest.bool "naive <= optimal" true
+    (List.for_all
+       (fun l -> S1.idle_time_estimate ~lambda:l <= S1.optimal_bandwidth ~lambda:l)
+       [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ])
+
+let test_scenario_ii_structure () =
+  check Alcotest.int "four links" 4 (Model.n_links S2.model);
+  check (Alcotest.list Alcotest.int) "path" [ 0; 1; 2; 3 ] S2.path;
+  check float_tol "paper optimum" 16.2 S2.paper_optimum;
+  let b1, b2 = S2.paper_fixed_rate_bounds in
+  check float_tol "bound 1" 13.5 b1;
+  check float_tol "bound 2" (108.0 /. 7.0) b2
+
+let test_random_scenario_deterministic () =
+  let a = RS.generate ~seed:3L () and b = RS.generate ~seed:3L () in
+  check Alcotest.int "same link count" (Topology.n_links a.RS.topology)
+    (Topology.n_links b.RS.topology);
+  check Alcotest.bool "same flows" true (a.RS.flows = b.RS.flows)
+
+let test_random_scenario_seed_matters () =
+  let a = RS.generate ~seed:3L () and b = RS.generate ~seed:4L () in
+  check Alcotest.bool "different instances" true
+    (a.RS.flows <> b.RS.flows || Topology.n_links a.RS.topology <> Topology.n_links b.RS.topology)
+
+let test_random_scenario_paper_shape () =
+  let s = RS.generate ~seed:3L () in
+  check Alcotest.int "30 nodes" 30 (Topology.n_nodes s.RS.topology);
+  check Alcotest.int "8 flows" 8 (List.length s.RS.flows);
+  check Alcotest.bool "connected" true (Topology.is_connected s.RS.topology);
+  List.iter (fun (_, _, d) -> check float_tol "2 Mbps" 2.0 d) s.RS.flows
+
+let test_random_scenario_custom () =
+  let s = RS.generate ~n_flows:3 ~demand_mbps:1.0 ~seed:3L () in
+  check Alcotest.int "3 flows" 3 (List.length s.RS.flows);
+  List.iter (fun (_, _, d) -> check float_tol "1 Mbps" 1.0 d) s.RS.flows
+
+let suite =
+  [
+    Alcotest.test_case "scenario I structure" `Quick test_scenario_i_structure;
+    Alcotest.test_case "scenario I background" `Quick test_scenario_i_background;
+    Alcotest.test_case "scenario I formulas" `Quick test_scenario_i_formulas;
+    Alcotest.test_case "scenario II structure" `Quick test_scenario_ii_structure;
+    Alcotest.test_case "random scenario deterministic" `Quick test_random_scenario_deterministic;
+    Alcotest.test_case "random scenario seed matters" `Quick test_random_scenario_seed_matters;
+    Alcotest.test_case "random scenario paper shape" `Quick test_random_scenario_paper_shape;
+    Alcotest.test_case "random scenario custom" `Quick test_random_scenario_custom;
+  ]
