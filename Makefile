@@ -1,0 +1,26 @@
+# Convenience targets; CI runs `make check`.
+
+.PHONY: all check test bench smoke clean
+
+all:
+	dune build
+
+# Tier-1 verification: full build + every test suite.
+check:
+	dune build
+	dune runtest
+
+test: check
+
+# Telemetry baseline + timing run. BENCH_telemetry.json is a pure
+# function of SEED; diff it across PRs to demonstrate perf wins.
+SEED ?= 30
+bench:
+	dune exec bench/main.exe -- --seed $(SEED)
+
+# Everything compiles, including examples and benches.
+smoke:
+	dune build @all
+
+clean:
+	dune clean

@@ -9,35 +9,35 @@ module RS = Wsn_workload.Scenarios.Random_scenario
 
 (* --- figure regeneration ------------------------------------------- *)
 
-let regenerate () =
+let regenerate ~seed () =
   print_endline "==========================================================";
-  print_endline " Figure/table regeneration (paper vs measured)";
+  Printf.printf " Figure/table regeneration (paper vs measured), seed %Ld\n" seed;
   print_endline "==========================================================";
   Wsn_experiments.Scenario1.print ();
   print_newline ();
   Wsn_experiments.Scenario2.print ();
   print_newline ();
-  Wsn_experiments.Fig3.print ();
+  Wsn_experiments.Fig3.print ~seed ();
   print_newline ();
-  Wsn_experiments.Fig4.print ();
+  Wsn_experiments.Fig4.print ~seed ();
   print_newline ();
-  Wsn_experiments.Hypothesis.print ();
+  Wsn_experiments.Hypothesis.print ~seed ();
   print_newline ();
-  Wsn_experiments.Mac_validation.print ();
+  Wsn_experiments.Mac_validation.print ~seed ();
   print_newline ();
-  Wsn_experiments.Routing_strategies.print ();
+  Wsn_experiments.Routing_strategies.print ~seed ();
   print_newline ();
-  Wsn_experiments.Ablations.Rts_cts.print ();
+  Wsn_experiments.Ablations.Rts_cts.print ~seed ();
   print_newline ();
-  Wsn_experiments.Ablations.Cs_range.print ();
+  Wsn_experiments.Ablations.Cs_range.print ~seed ();
   print_newline ();
   Wsn_experiments.Ablations.Quantisation.print ();
   print_newline ();
-  Wsn_experiments.Ablations.Dominance.print ();
+  Wsn_experiments.Ablations.Dominance.print ~seed ();
   print_newline ();
-  Wsn_experiments.Joint_gap.print ();
+  Wsn_experiments.Joint_gap.print ~seed ();
   print_newline ();
-  Wsn_experiments.Protocol_gap.print ();
+  Wsn_experiments.Protocol_gap.print ~seed ();
   print_newline ();
   Wsn_experiments.Scalability.print ();
   print_newline ();
@@ -87,8 +87,8 @@ let experiment_tests =
              ~path:(Wsn_net.Builders.chain_hop_links topo)));
   ]
 
-let stage_tests =
-  let scenario = RS.generate ~seed:30L () in
+let stage_tests ~seed =
+  let scenario = RS.generate ~seed () in
   let topo = scenario.RS.topology in
   let model = scenario.RS.model in
   let run =
@@ -131,11 +131,11 @@ let stage_tests =
              ~duration_us:100_000));
   ]
 
-let benchmark () =
+let benchmark ~seed () =
   print_endline "==========================================================";
   print_endline " Timing (Bechamel, OLS estimate per run)";
   print_endline "==========================================================";
-  let tests = Test.make_grouped ~name:"wsn" (experiment_tests @ stage_tests) in
+  let tests = Test.make_grouped ~name:"wsn" (experiment_tests @ stage_tests ~seed) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
@@ -157,7 +157,60 @@ let benchmark () =
       else Printf.printf "%-38s %10.2f ns/run\n" name ns)
     (List.sort compare rows)
 
+(* Regeneration runs with telemetry enabled and the counters are
+   snapshotted to [BENCH_telemetry.json] before the Bechamel timing
+   pass, so the baseline is a pure function of [--seed] (timing
+   iteration counts vary run-to-run and must not pollute it).
+   Telemetry is disabled again for the timing pass: counters cost a
+   branch either way, but the benchmark should measure the shipped
+   configuration. *)
 let () =
-  regenerate ();
-  print_newline ();
-  benchmark ()
+  let seed = ref 30L in
+  let out = ref "BENCH_telemetry.json" in
+  let skip_timing = ref false in
+  Arg.parse
+    [
+      ( "--seed",
+        Arg.String
+          (fun s ->
+            match Int64.of_string_opt s with
+            | Some v -> seed := v
+            | None -> raise (Arg.Bad (Printf.sprintf "--seed: %S is not an integer" s))),
+        "SEED experiment seed (default 30)" );
+      ("--telemetry-out", Arg.Set_string out, "FILE telemetry snapshot path (default BENCH_telemetry.json)");
+      ("--no-timing", Arg.Set skip_timing, " regenerate figures and telemetry only, skip Bechamel");
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing]";
+  Wsn_telemetry.Registry.set_enabled true;
+  regenerate ~seed:!seed ();
+  let snap = Wsn_telemetry.Registry.snapshot () in
+  (* The baseline must diff clean run-to-run: keep span *counts* (a
+     pure function of the seed) but blank the wall-clock stats, which
+     encode as null. *)
+  let deterministic =
+    {
+      snap with
+      Wsn_telemetry.Registry.spans =
+        List.map
+          (fun (name, d) ->
+            ( name,
+              {
+                d with
+                Wsn_telemetry.Registry.sum = nan;
+                min_v = nan;
+                max_v = nan;
+                p50 = nan;
+                p90 = nan;
+                p99 = nan;
+              } ))
+          snap.Wsn_telemetry.Registry.spans;
+    }
+  in
+  Wsn_telemetry.Export.write_file !out deterministic;
+  Printf.printf "wrote telemetry baseline to %s (seed %Ld)\n" !out !seed;
+  Wsn_telemetry.Registry.set_enabled false;
+  if not !skip_timing then begin
+    print_newline ();
+    benchmark ~seed:!seed ()
+  end

@@ -6,117 +6,167 @@ let seed_arg default =
   let doc = "Random seed (deterministic reproduction)." in
   Arg.(value & opt int64 default & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Global telemetry switch, available on every subcommand.  Bare
+   [--telemetry] prints a summary table after the experiment;
+   [--telemetry=FILE] writes a JSON snapshot instead.  Absent, the
+   registry stays disabled and instrumentation is branch-only. *)
+let telemetry_arg =
+  let doc =
+    "Record runtime telemetry (solver pivots, column counts, MAC events, span latencies). \
+     Without a value, print a summary table after the run; with $(docv), write a JSON \
+     snapshot to $(docv)."
+  in
+  Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let with_telemetry mode run =
+  (match mode with Some _ -> Wsn_telemetry.Registry.set_enabled true | None -> ());
+  run ();
+  match mode with
+  | None -> ()
+  | Some "-" ->
+    print_newline ();
+    Format.printf "%a@." Wsn_telemetry.Export.pp_summary (Wsn_telemetry.Registry.snapshot ())
+  | Some file -> (
+    try
+      Wsn_telemetry.Export.write_file file (Wsn_telemetry.Registry.snapshot ());
+      Printf.printf "wrote telemetry snapshot to %s\n" file
+    with Sys_error msg ->
+      Printf.eprintf "wsn_repro: cannot write telemetry snapshot: %s\n" msg;
+      exit 1)
+
 let e1_cmd =
-  let run () = Wsn_experiments.Scenario1.print () in
+  let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scenario1.print ()) in
   Cmd.v (Cmd.info "e1" ~doc:"Scenario I: idle-time estimation vs optimal scheduling")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_arg)
 
 let e2_cmd =
-  let run () = Wsn_experiments.Scenario2.print () in
+  let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scenario2.print ()) in
   Cmd.v (Cmd.info "e2" ~doc:"Scenario II: the four-link chain and the 16.2 Mbps optimum")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_arg)
 
 let e3_cmd =
-  let run seed = Wsn_experiments.Fig3.print ~seed () in
+  let run telem seed = with_telemetry telem (fun () -> Wsn_experiments.Fig3.print ~seed ()) in
   Cmd.v (Cmd.info "e3" ~doc:"Fig. 3: routing metrics on the random 30-node topology")
-    Term.(const run $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let e4_cmd =
-  let run seed = Wsn_experiments.Fig4.print ~seed () in
+  let run telem seed = with_telemetry telem (fun () -> Wsn_experiments.Fig4.print ~seed ()) in
   Cmd.v (Cmd.info "e4" ~doc:"Fig. 4: estimators of path available bandwidth")
-    Term.(const run $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let e5_cmd =
-  let run seed = Wsn_experiments.Hypothesis.print ~seed () in
-  Cmd.v (Cmd.info "e5" ~doc:"Hypothesis (8) violation sweep") Term.(const run $ seed_arg 11L)
+  let run telem seed =
+    with_telemetry telem (fun () -> Wsn_experiments.Hypothesis.print ~seed ())
+  in
+  Cmd.v (Cmd.info "e5" ~doc:"Hypothesis (8) violation sweep")
+    Term.(const run $ telemetry_arg $ seed_arg 11L)
 
 let e6_cmd =
-  let run seed = Wsn_experiments.Mac_validation.print ~seed () in
-  Cmd.v (Cmd.info "e6" ~doc:"CSMA/CA-measured vs analytic idleness") Term.(const run $ seed_arg 30L)
+  let run telem seed =
+    with_telemetry telem (fun () -> Wsn_experiments.Mac_validation.print ~seed ())
+  in
+  Cmd.v (Cmd.info "e6" ~doc:"CSMA/CA-measured vs analytic idleness")
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let e7_cmd =
-  let run seed = Wsn_experiments.Routing_strategies.print ~seed () in
+  let run telem seed =
+    with_telemetry telem (fun () -> Wsn_experiments.Routing_strategies.print ~seed ())
+  in
   Cmd.v (Cmd.info "e7" ~doc:"Bandwidth-aware routing strategies vs additive metrics")
-    Term.(const run $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let e12_cmd =
-  let run seed = Wsn_experiments.Joint_gap.print ~seed () in
+  let run telem seed =
+    with_telemetry telem (fun () -> Wsn_experiments.Joint_gap.print ~seed ())
+  in
   Cmd.v (Cmd.info "e12" ~doc:"Single-path cost vs splittable joint routing optimum")
-    Term.(const run $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let e13_cmd =
-  let run seed = Wsn_experiments.Protocol_gap.print ~seed () in
+  let run telem seed =
+    with_telemetry telem (fun () -> Wsn_experiments.Protocol_gap.print ~seed ())
+  in
   Cmd.v (Cmd.info "e13" ~doc:"Protocol (pairwise) vs physical (SINR) interference model")
-    Term.(const run $ seed_arg 5L)
+    Term.(const run $ telemetry_arg $ seed_arg 5L)
 
 let e14_cmd =
-  let run () = Wsn_experiments.Scalability.print () in
+  let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scalability.print ()) in
   Cmd.v (Cmd.info "e14" ~doc:"Enumeration vs column generation scalability")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_arg)
 
 let fig2_cmd =
   let doc = "Output file (- for stdout)." in
   let out = Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc) in
-  let run seed out =
-    if out = "-" then Wsn_experiments.Fig2.print ~seed ()
-    else begin
-      Wsn_experiments.Fig2.write ~seed ~path:out ();
-      Printf.printf "wrote %s (render: neato -n2 -Tpng %s -o fig2.png)\n" out out
-    end
+  let run telem seed out =
+    with_telemetry telem (fun () ->
+        if out = "-" then Wsn_experiments.Fig2.print ~seed ()
+        else begin
+          Wsn_experiments.Fig2.write ~seed ~path:out ();
+          Printf.printf "wrote %s (render: neato -n2 -Tpng %s -o fig2.png)\n" out out
+        end)
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Emit the Fig. 2 topology/paths picture as Graphviz DOT")
-    Term.(const run $ seed_arg 30L $ out)
+    Term.(const run $ telemetry_arg $ seed_arg 30L $ out)
 
 let ablations_cmd =
-  let run seed =
-    Wsn_experiments.Ablations.Rts_cts.print ~seed ();
-    print_newline ();
-    Wsn_experiments.Ablations.Cs_range.print ~seed ();
-    print_newline ();
-    Wsn_experiments.Ablations.Quantisation.print ();
-    print_newline ();
-    Wsn_experiments.Ablations.Dominance.print ~seed ()
+  let run telem seed =
+    with_telemetry telem (fun () ->
+        Wsn_experiments.Ablations.Rts_cts.print ~seed ();
+        print_newline ();
+        Wsn_experiments.Ablations.Cs_range.print ~seed ();
+        print_newline ();
+        Wsn_experiments.Ablations.Quantisation.print ();
+        print_newline ();
+        Wsn_experiments.Ablations.Dominance.print ~seed ())
   in
-  Cmd.v (Cmd.info "ablations" ~doc:"Ablations E8-E11: RTS/CTS, CS range, quantisation, dominance filter")
-    Term.(const run $ seed_arg 30L)
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Ablations E8-E11: RTS/CTS, CS range, quantisation, dominance filter")
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let sweep_cmd =
   let doc = "Number of seeds to sweep." in
   let count = Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc) in
-  let run count =
-    let seeds = List.init count (fun i -> Int64.of_int (i + 1)) in
-    let means = Wsn_experiments.Fig3.sweep_seeds ~seeds in
-    Printf.printf "# mean admitted flows (of 8) over %d seeds\n" count;
-    List.iter
-      (fun (m, mean) -> Printf.printf "%-14s %.2f\n" (Wsn_routing.Metrics.name m) mean)
-      means
+  let run telem count =
+    with_telemetry telem (fun () ->
+        let seeds = List.init count (fun i -> Int64.of_int (i + 1)) in
+        let means = Wsn_experiments.Fig3.sweep_seeds ~seeds in
+        Printf.printf "# mean admitted flows (of 8) over %d seeds\n" count;
+        List.iter
+          (fun (m, mean) -> Printf.printf "%-14s %.2f\n" (Wsn_routing.Metrics.name m) mean)
+          means)
   in
-  Cmd.v (Cmd.info "sweep" ~doc:"Aggregate Fig. 3 over many seeds") Term.(const run $ count)
+  Cmd.v (Cmd.info "sweep" ~doc:"Aggregate Fig. 3 over many seeds")
+    Term.(const run $ telemetry_arg $ count)
 
 let topo_cmd =
-  let run seed =
-    let scenario = Wsn_workload.Scenarios.Random_scenario.generate ~seed () in
-    Format.printf "%a@." Wsn_net.Topology.pp scenario.Wsn_workload.Scenarios.Random_scenario.topology
+  let run telem seed =
+    with_telemetry telem (fun () ->
+        let scenario = Wsn_workload.Scenarios.Random_scenario.generate ~seed () in
+        Format.printf "%a@." Wsn_net.Topology.pp
+          scenario.Wsn_workload.Scenarios.Random_scenario.topology)
   in
-  Cmd.v (Cmd.info "topo" ~doc:"Print a generated topology") Term.(const run $ seed_arg 30L)
+  Cmd.v (Cmd.info "topo" ~doc:"Print a generated topology")
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let all_cmd =
-  let run seed =
-    Wsn_experiments.Scenario1.print ();
-    print_newline ();
-    Wsn_experiments.Scenario2.print ();
-    print_newline ();
-    Wsn_experiments.Fig3.print ~seed ();
-    print_newline ();
-    Wsn_experiments.Fig4.print ~seed ();
-    print_newline ();
-    Wsn_experiments.Hypothesis.print ();
-    print_newline ();
-    Wsn_experiments.Mac_validation.print ~seed ();
-    print_newline ();
-    Wsn_experiments.Routing_strategies.print ~seed ()
+  let run telem seed =
+    with_telemetry telem (fun () ->
+        Wsn_experiments.Scenario1.print ();
+        print_newline ();
+        Wsn_experiments.Scenario2.print ();
+        print_newline ();
+        Wsn_experiments.Fig3.print ~seed ();
+        print_newline ();
+        Wsn_experiments.Fig4.print ~seed ();
+        print_newline ();
+        Wsn_experiments.Hypothesis.print ();
+        print_newline ();
+        Wsn_experiments.Mac_validation.print ~seed ();
+        print_newline ();
+        Wsn_experiments.Routing_strategies.print ~seed ())
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ seed_arg 30L)
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run $ telemetry_arg $ seed_arg 30L)
 
 let () =
   let doc = "Reproduction of 'Available Bandwidth in Multirate and Multihop WSNs' (ICDCS'09)" in

@@ -4,6 +4,13 @@ module Rate = Wsn_radio.Rate
 module Schedule = Wsn_sched.Schedule
 module Problem = Wsn_lp.Problem
 module Types = Wsn_lp.Types
+module Telemetry = Wsn_telemetry.Registry
+
+let m_columns = Telemetry.counter "colgen.columns"
+
+let m_pricing_rounds = Telemetry.counter "colgen.pricing_rounds"
+
+let m_lp_resolves = Telemetry.counter "colgen.lp_resolves"
 
 type result = {
   bandwidth_mbps : float;
@@ -25,6 +32,7 @@ let column_of_assignment tbl assignment =
    the solution plus the duals needed for pricing: [sigma] for the
    total-share row and one weight per link (the negated Ge-row dual). *)
 let solve_master ~columns ~universe ~loads ~path =
+  Telemetry.incr m_lp_resolves;
   let lp = Problem.create ~name:"cg-master" Types.Maximize in
   let f = Problem.add_var lp ~obj:1.0 "f" in
   let lambda =
@@ -82,8 +90,10 @@ let available ?(max_iterations = 1000) model ~background ~path =
       universe
   in
   let pool = ref seed in
+  Telemetry.add m_columns (List.length seed);
   let rec iterate k =
     if k > max_iterations then failwith "Column_gen: did not converge";
+    Telemetry.incr m_pricing_rounds;
     let f, sigma, weights, shares, shortfall = solve_master ~columns:!pool ~universe ~loads ~path in
     let improving =
       match
@@ -96,6 +106,7 @@ let available ?(max_iterations = 1000) model ~background ~path =
     match improving with
     | Some column ->
       pool := !pool @ [ column ];
+      Telemetry.incr m_columns;
       iterate (k + 1)
     | None ->
       (* Converged: the master optimum is the true Equation-6 optimum. *)
@@ -120,7 +131,7 @@ let available ?(max_iterations = 1000) model ~background ~path =
           }
       end
   in
-  iterate 1
+  Wsn_telemetry.Span.with_span "colgen.available" (fun () -> iterate 1)
 
 let path_capacity ?max_iterations model ~path =
   match available ?max_iterations model ~background:[] ~path with

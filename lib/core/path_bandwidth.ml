@@ -3,6 +3,13 @@ module Independent = Wsn_conflict.Independent
 module Schedule = Wsn_sched.Schedule
 module Problem = Wsn_lp.Problem
 module Types = Wsn_lp.Types
+module Telemetry = Wsn_telemetry.Registry
+
+(* Shared with Column_gen: both build Eq. 6 masters over independent-set
+   columns, so the pool size and re-solve counts land in one metric. *)
+let m_columns = Telemetry.counter "colgen.columns"
+
+let m_lp_resolves = Telemetry.counter "colgen.lp_resolves"
 
 type result = {
   bandwidth_mbps : float;
@@ -29,6 +36,7 @@ let schedule_of_columns columns shares =
    [new_path] adds the f variable; when absent the objective minimises
    total airtime instead (background scheduling). *)
 let solve ?max_sets model ~background ~new_path =
+  Wsn_telemetry.Span.with_span "pathbw.solve" @@ fun () ->
   let universe =
     List.sort_uniq compare
       (Flow.union_links background @ (match new_path with Some p -> p | None -> []))
@@ -37,6 +45,8 @@ let solve ?max_sets model ~background ~new_path =
   | [] -> invalid_arg "Path_bandwidth: nothing to schedule"
   | _ ->
     let columns = Independent.columns ?max_sets model ~universe in
+    Telemetry.add m_columns (List.length columns);
+    Telemetry.incr m_lp_resolves;
     let index = Hashtbl.create 16 in
     List.iteri (fun i l -> Hashtbl.replace index l i) universe;
     let objective = match new_path with Some _ -> Types.Maximize | None -> Types.Minimize in
@@ -114,6 +124,8 @@ let available_multi ?max_sets model ~background ~requests =
     List.sort_uniq compare (Flow.union_links background @ Flow.union_links requests)
   in
   let columns = Independent.columns ?max_sets model ~universe in
+  Telemetry.add m_columns (List.length columns);
+  Telemetry.incr m_lp_resolves;
   let index = Hashtbl.create 16 in
   List.iteri (fun i l -> Hashtbl.replace index l i) universe;
   let lp = Problem.create ~name:"multi-flow" Types.Maximize in

@@ -2,6 +2,12 @@
    a graph with selected edges and root-path nodes banned, seeded by the
    deviations of the previously accepted path. *)
 
+module Telemetry = Wsn_telemetry.Registry
+
+let m_paths_expanded = Telemetry.counter "yen.paths_expanded"
+
+let m_spur_candidates = Telemetry.counter "yen.spur_candidates"
+
 let path_weight weight p = Path.cost weight p
 
 let k_shortest_paths g ~weight ~source ~target ~k =
@@ -26,6 +32,7 @@ let k_shortest_paths g ~weight ~source ~target ~k =
         if n = 0 then [] else match p with [] -> [] | e :: rest -> e :: take_prefix (n - 1) rest
       in
       let expand last_path =
+        Telemetry.incr m_paths_expanded;
         let hops = Path.length last_path in
         for i = 0 to hops - 1 do
           let root = take_prefix i last_path in
@@ -60,7 +67,10 @@ let k_shortest_paths g ~weight ~source ~target ~k =
           | None -> ()
           | Some spur ->
             let candidate = root @ spur in
-            if Path.is_simple candidate then add_candidate candidate
+            if Path.is_simple candidate then begin
+              Telemetry.incr m_spur_candidates;
+              add_candidate candidate
+            end
         done
       in
       let rec fill () =

@@ -1,5 +1,14 @@
 module Matrix = Wsn_linalg.Matrix
 module Vector = Wsn_linalg.Vector
+module Telemetry = Wsn_telemetry.Registry
+
+let m_solves = Telemetry.counter "lp.solves"
+
+let m_pivots = Telemetry.counter "lp.pivots"
+
+let m_phase1_iters = Telemetry.counter "lp.phase1_iters"
+
+let m_phase2_iters = Telemetry.counter "lp.phase2_iters"
 
 type result =
   | Optimal of { x : Vector.t; objective : float; duals : Vector.t }
@@ -43,7 +52,8 @@ let pivot tab ~row ~col =
       if Float.abs coeff > 0.0 then Matrix.add_scaled_row tab.t ~src:row ~dst:i (-.coeff)
     end
   done;
-  tab.basis.(row) <- col
+  tab.basis.(row) <- col;
+  Telemetry.incr m_pivots
 
 (* Entering column: Dantzig rule (most negative reduced cost) normally,
    Bland rule (lowest eligible index) once [bland] is set. *)
@@ -93,7 +103,7 @@ let leaving tab ~col =
 
 type phase_outcome = Finished | Unbounded_phase
 
-let optimise tab ~allowed =
+let optimise tab ~allowed ~iters =
   let max_iters = 200 * (tab.m + tab.ncols + 10) in
   let bland_after = 20 * (tab.m + tab.ncols + 10) in
   let rec loop iter =
@@ -105,6 +115,7 @@ let optimise tab ~allowed =
       | None -> Unbounded_phase
       | Some row ->
         pivot tab ~row ~col;
+        Telemetry.incr iters;
         loop (iter + 1))
   in
   loop 0
@@ -175,7 +186,7 @@ let solve ~a ~b ~c ~senses =
       Matrix.set t m j 1.0
     done;
     price_out tab;
-    (match optimise tab ~allowed:(fun j -> j < ncols) with
+    (match optimise tab ~allowed:(fun j -> j < ncols) ~iters:m_phase1_iters with
      | Unbounded_phase -> failwith "Tableau.solve: phase 1 unbounded (impossible)"
      | Finished -> ());
     let phase1_value = -.Matrix.get t m ncols in
@@ -202,7 +213,7 @@ let solve ~a ~b ~c ~senses =
     Matrix.set t m j (-.c.(j))
   done;
   price_out tab;
-  match optimise tab ~allowed:(fun j -> not (is_artificial j)) with
+  match optimise tab ~allowed:(fun j -> not (is_artificial j)) ~iters:m_phase2_iters with
   | Unbounded_phase -> Unbounded
   | Finished ->
     let x = Vector.zeros n in
@@ -215,4 +226,6 @@ let solve ~a ~b ~c ~senses =
     Optimal { x; objective = Matrix.get t m ncols; duals }
 
 let solve ~a ~b ~c ~senses =
-  try solve ~a ~b ~c ~senses with Exit -> Infeasible
+  Wsn_telemetry.Span.with_span "lp.solve" (fun () ->
+      Telemetry.incr m_solves;
+      try solve ~a ~b ~c ~senses with Exit -> Infeasible)

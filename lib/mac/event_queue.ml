@@ -2,6 +2,12 @@ type 'a entry = { time : int; seq : int; payload : 'a }
 
 type 'a t = { mutable heap : 'a entry array; mutable n : int; mutable next_seq : int }
 
+module Telemetry = Wsn_telemetry.Registry
+
+let m_events = Telemetry.counter "mac.events"
+
+let m_queue_hwm = Telemetry.gauge "mac.queue_depth_hwm"
+
 let dummy payload = { time = 0; seq = 0; payload }
 
 let create () = { heap = [||]; n = 0; next_seq = 0 }
@@ -47,6 +53,7 @@ let schedule q ~time payload =
   q.heap.(q.n) <- { time; seq = q.next_seq; payload };
   q.next_seq <- q.next_seq + 1;
   q.n <- q.n + 1;
+  Telemetry.set_max m_queue_hwm (float_of_int q.n);
   sift_up q (q.n - 1)
 
 let next_time q = if q.n = 0 then None else Some q.heap.(0).time
@@ -55,6 +62,7 @@ let pop q =
   if q.n = 0 then None
   else begin
     let top = q.heap.(0) in
+    Telemetry.incr m_events;
     q.n <- q.n - 1;
     if q.n > 0 then begin
       q.heap.(0) <- q.heap.(q.n);

@@ -3,6 +3,13 @@ module Phy = Wsn_radio.Phy
 module Rate = Wsn_radio.Rate
 module Digraph = Wsn_graph.Digraph
 module Pcg32 = Wsn_prng.Pcg32
+module Telemetry = Wsn_telemetry.Registry
+
+let m_slots = Telemetry.counter "mac.slots"
+
+let m_frames_sent = Telemetry.counter "mac.frames_sent"
+
+let m_collisions = Telemetry.counter "mac.collisions"
 
 type flow_spec = { links : int list; demand_mbps : float }
 
@@ -64,6 +71,7 @@ let validate_flow topo spec =
   chain spec.links
 
 let run ?(config = Dcf_config.default) ?(seed = 1L) topo ~flows ~duration_us =
+  Wsn_telemetry.Span.with_span "mac.run" @@ fun () ->
   List.iter (validate_flow topo) flows;
   let phy = Topology.phy topo in
   let n = Topology.n_nodes topo in
@@ -248,6 +256,9 @@ let run ?(config = Dcf_config.default) ?(seed = 1L) topo ~flows ~duration_us =
           if ongoing.slots_left <= 0 then finish_transmission st ongoing)
       stations
   done;
+  Telemetry.add m_slots total_slots;
+  Telemetry.add m_frames_sent !frames_sent;
+  Telemetry.add m_collisions !collisions;
   let seconds = float_of_int (total_slots * slot_us) /. 1e6 in
   let flow_stats =
     Array.mapi

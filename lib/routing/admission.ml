@@ -4,6 +4,11 @@ module Schedule = Wsn_sched.Schedule
 module Idleness = Wsn_sched.Idleness
 module Flow = Wsn_availbw.Flow
 module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Telemetry = Wsn_telemetry.Registry
+
+let m_admitted = Telemetry.counter "routing.admitted"
+
+let m_rejected = Telemetry.counter "routing.rejected"
 
 type step = {
   index : int;
@@ -51,6 +56,7 @@ let run_with ?(stop_on_failure = true) ?max_sets ~label ~router _topo model ~flo
           | None -> 0.0)
       in
       let admitted = available_mbps >= demand_mbps -. admission_eps in
+      Telemetry.incr (if admitted then m_admitted else m_rejected);
       let step = { index; source; target; demand_mbps; path; available_mbps; admitted } in
       if admitted then begin
         let flow =

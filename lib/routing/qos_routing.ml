@@ -6,6 +6,9 @@ module Idleness = Wsn_sched.Idleness
 module Flow = Wsn_availbw.Flow
 module Path_bandwidth = Wsn_availbw.Path_bandwidth
 module Estimators = Wsn_availbw.Estimators
+module Telemetry = Wsn_telemetry.Registry
+
+let m_candidates_scored = Telemetry.counter "routing.candidates_scored"
 
 type estimator =
   | Bottleneck
@@ -62,6 +65,7 @@ let estimate_path topo model ~schedule estimator path =
   | Expected_clique_time -> Estimators.expected_clique_time ~cliques obs
 
 let find_path topo model ~background ~strategy ~source ~target =
+  Wsn_telemetry.Span.with_span "routing.find_path" @@ fun () ->
   let k = match strategy with Estimator_select { k; _ } | Oracle_select { k } -> k in
   (* Candidates under e2eTD: fast links first, idleness-independent. *)
   let candidates =
@@ -89,6 +93,7 @@ let find_path topo model ~background ~strategy ~source ~target =
     let best =
       List.fold_left
         (fun acc path ->
+          Telemetry.incr m_candidates_scored;
           let s = score path in
           match acc with
           | Some (_, best_s, best_len)

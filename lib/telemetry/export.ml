@@ -1,0 +1,132 @@
+(* JSON encoding, hand-rolled: the snapshot shape is fixed, so a
+   Buffer and four helpers beat a dependency. *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/Infinity literals; encode them as null. *)
+let add_float buf v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" v)
+
+let add_assoc buf ~indent add_value entries =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf indent;
+      escape buf name;
+      Buffer.add_string buf ": ";
+      add_value buf v)
+    entries;
+  if entries <> [] then begin
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf (String.sub indent 0 (String.length indent - 2))
+  end;
+  Buffer.add_string buf "}"
+
+let add_dist buf (d : Registry.dist_stat) =
+  Buffer.add_string buf "{\"count\": ";
+  Buffer.add_string buf (string_of_int d.Registry.count);
+  List.iter
+    (fun (key, v) ->
+      Buffer.add_string buf ", ";
+      Buffer.add_string buf key;
+      Buffer.add_string buf ": ";
+      add_float buf v)
+    [
+      ("\"sum\"", d.Registry.sum);
+      ("\"min\"", d.Registry.min_v);
+      ("\"max\"", d.Registry.max_v);
+      ("\"p50\"", d.Registry.p50);
+      ("\"p90\"", d.Registry.p90);
+      ("\"p99\"", d.Registry.p99);
+    ];
+  Buffer.add_string buf "}"
+
+let to_json (s : Registry.snapshot) =
+  let buf = Buffer.create 1024 in
+  let section name add_value entries ~last =
+    Buffer.add_string buf "  ";
+    escape buf name;
+    Buffer.add_string buf ": ";
+    add_assoc buf ~indent:"    " add_value entries;
+    Buffer.add_string buf (if last then "\n" else ",\n")
+  in
+  Buffer.add_string buf "{\n";
+  section "counters" (fun b v -> Buffer.add_string b (string_of_int v)) s.Registry.counters
+    ~last:false;
+  section "gauges" add_float s.Registry.gauges ~last:false;
+  section "histograms" add_dist s.Registry.histograms ~last:false;
+  section "spans" add_dist s.Registry.spans ~last:true;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json s))
+
+(* --- summary table -------------------------------------------------- *)
+
+let si_time secs =
+  if Float.is_nan secs then "-"
+  else if secs >= 1.0 then Printf.sprintf "%.3f s" secs
+  else if secs >= 1e-3 then Printf.sprintf "%.3f ms" (secs *. 1e3)
+  else if secs >= 1e-6 then Printf.sprintf "%.1f us" (secs *. 1e6)
+  else Printf.sprintf "%.0f ns" (secs *. 1e9)
+
+let pp_summary fmt (s : Registry.snapshot) =
+  Format.fprintf fmt "@[<v># telemetry@,";
+  if s.Registry.counters <> [] then begin
+    Format.fprintf fmt "## counters@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "%-32s %12d@," name v)
+      s.Registry.counters
+  end;
+  if s.Registry.gauges <> [] then begin
+    Format.fprintf fmt "## gauges@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "%-32s %12g@," name v)
+      s.Registry.gauges
+  end;
+  if s.Registry.spans <> [] then begin
+    Format.fprintf fmt "## spans (wall clock)@,";
+    Format.fprintf fmt "%-32s %8s %10s %10s %10s %10s@," "span" "count" "total" "p50" "p90"
+      "p99";
+    List.iter
+      (fun (name, (d : Registry.dist_stat)) ->
+        Format.fprintf fmt "%-32s %8d %10s %10s %10s %10s@," name d.Registry.count
+          (si_time d.Registry.sum) (si_time d.Registry.p50) (si_time d.Registry.p90)
+          (si_time d.Registry.p99))
+      s.Registry.spans
+  end;
+  if s.Registry.histograms <> [] then begin
+    Format.fprintf fmt "## histograms@,";
+    Format.fprintf fmt "%-32s %8s %10s %10s %10s %10s@," "histogram" "count" "mean" "p50" "p90"
+      "p99";
+    List.iter
+      (fun (name, (d : Registry.dist_stat)) ->
+        let mean =
+          if d.Registry.count = 0 then nan
+          else d.Registry.sum /. float_of_int d.Registry.count
+        in
+        Format.fprintf fmt "%-32s %8d %10.3g %10.3g %10.3g %10.3g@," name d.Registry.count mean
+          d.Registry.p50 d.Registry.p90 d.Registry.p99)
+      s.Registry.histograms
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,13 @@
+(** Snapshot serialisation: hand-rolled JSON (no dependencies) and a
+    human-readable summary table. *)
+
+(** Strict JSON: object keys escaped per RFC 8259, non-finite floats
+    encoded as [null]. *)
+val to_json : Registry.snapshot -> string
+
+val write_file : string -> Registry.snapshot -> unit
+
+(** Aligned four-section table (counters / gauges / latency spans /
+    histograms); prints nothing but a header when the snapshot is
+    empty. *)
+val pp_summary : Format.formatter -> Registry.snapshot -> unit

@@ -1,0 +1,122 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram = { h_name : string; h_dist : Histogram.t }
+
+let enabled = ref false
+
+let set_enabled b = enabled := b
+
+let is_enabled () = !enabled
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let spans : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some m -> m
+  | None ->
+    let m = make name in
+    Hashtbl.add tbl name m;
+    m
+
+let counter name = intern counters name (fun c_name -> { c_name; c_value = 0 })
+
+let gauge name = intern gauges name (fun g_name -> { g_name; g_value = 0.0; g_set = false })
+
+let make_histogram h_name = { h_name; h_dist = Histogram.create () }
+
+let histogram name = intern histograms name make_histogram
+
+let span name = intern spans name make_histogram
+
+let incr c = if !enabled then c.c_value <- c.c_value + 1
+
+let add c n = if !enabled then c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+
+let set g v =
+  if !enabled then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let set_max g v =
+  if !enabled && ((not g.g_set) || v > g.g_value) then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = g.g_value
+
+let observe h v = if !enabled then Histogram.observe h.h_dist v
+
+let observe_always h v = Histogram.observe h.h_dist v
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0.0;
+      g.g_set <- false)
+    gauges;
+  Hashtbl.iter (fun _ h -> Histogram.clear h.h_dist) histograms;
+  Hashtbl.iter (fun _ h -> Histogram.clear h.h_dist) spans
+
+type dist_stat = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * dist_stat) list;
+  spans : (string * dist_stat) list;
+}
+
+let by_name (a, _) (b, _) = compare a b
+
+let dist_stat d =
+  {
+    count = Histogram.count d;
+    sum = Histogram.sum d;
+    min_v = Histogram.min_value d;
+    max_v = Histogram.max_value d;
+    p50 = Histogram.quantile d 0.50;
+    p90 = Histogram.quantile d 0.90;
+    p99 = Histogram.quantile d 0.99;
+  }
+
+let snapshot () =
+  let live_dists tbl =
+    Hashtbl.fold
+      (fun name h acc ->
+        if Histogram.count h.h_dist > 0 then (name, dist_stat h.h_dist) :: acc else acc)
+      tbl []
+    |> List.sort by_name
+  in
+  {
+    counters =
+      Hashtbl.fold
+        (fun name c acc -> if c.c_value <> 0 then (name, c.c_value) :: acc else acc)
+        counters []
+      |> List.sort by_name;
+    gauges =
+      Hashtbl.fold (fun name g acc -> if g.g_set then (name, g.g_value) :: acc else acc) gauges []
+      |> List.sort by_name;
+    histograms = live_dists histograms;
+    spans = live_dists spans;
+  }

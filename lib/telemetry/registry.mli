@@ -1,0 +1,85 @@
+(** Process-wide metrics registry.
+
+    Instrumented code creates its handles once, at module
+    initialisation, and bumps them from hot paths:
+
+    {[
+      let pivots = Registry.counter "lp.pivots"
+      ...
+      Registry.incr pivots
+    ]}
+
+    All mutation is gated on {!enabled} (default [false]): a disabled
+    registry costs one load and one branch per call site and records
+    nothing, so instrumentation can stay in place permanently. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+(** Master switch.  Exposed as a [ref] so hot paths can read it with a
+    single load; prefer {!set_enabled} elsewhere. *)
+val enabled : bool ref
+
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** Find-or-create by name.  Handles are interned: two calls with the
+    same name return the same underlying metric. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+
+(** Span-duration histograms live in their own namespace so snapshots
+    can report them as latency distributions (seconds). *)
+val span : string -> histogram
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+(** [set_max g v] raises [g] to [v] if [v] is larger: a high-water
+    mark. *)
+val set_max : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+(** Unconditional observe — used by {!Span.with_span}, which has
+    already checked {!enabled} before taking timestamps. *)
+val observe_always : histogram -> float -> unit
+
+(** Zero every registered metric (handles stay valid).  For tests and
+    benchmark baselines. *)
+val reset : unit -> unit
+
+type dist_stat = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * dist_stat) list;
+  spans : (string * dist_stat) list;  (** durations in seconds *)
+}
+
+(** Snapshot of every metric with at least one recorded value
+    (zero-valued counters registered at module init are elided). *)
+val snapshot : unit -> snapshot

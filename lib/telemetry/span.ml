@@ -1,0 +1,18 @@
+let stack : string list ref = ref []
+
+let with_span name f =
+  if not !Registry.enabled then f ()
+  else begin
+    let h = Registry.span name in
+    let t0 = Unix.gettimeofday () in
+    stack := name :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with [] -> () | _ :: rest -> stack := rest);
+        Registry.observe_always h (Unix.gettimeofday () -. t0))
+      f
+  end
+
+let current () = !stack
+
+let depth () = List.length !stack

@@ -1,0 +1,18 @@
+(** Span-based wall-clock tracing.
+
+    [with_span "lp.solve" f] times [f] with [Unix.gettimeofday] and
+    records the duration (seconds) into the span histogram named
+    ["lp.solve"].  Spans nest freely — the active stack is visible via
+    {!current} — and exceptions propagate after the span is closed.
+
+    When telemetry is disabled the call reduces to one load, one
+    branch, and a tail call of [f]: no timestamps are taken and
+    nothing is allocated. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** Active span names, innermost first; [[]] outside any span (or when
+    disabled). *)
+val current : unit -> string list
+
+val depth : unit -> int

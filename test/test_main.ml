@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "wsn_availbw"
     [
+      ("telemetry", Test_telemetry.suite);
       ("prng", Test_prng.suite);
       ("linalg", Test_linalg.suite);
       ("lp", Test_lp.suite);

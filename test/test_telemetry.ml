@@ -1,0 +1,361 @@
+(* Tests for Wsn_telemetry: registry semantics, histogram quantiles on
+   known data, span nesting, JSON snapshot round-trip through a
+   hand-rolled parser, and an end-to-end check that solving the paper's
+   Scenario II chain leaves solver counters behind. *)
+
+module Registry = Wsn_telemetry.Registry
+module Histogram = Wsn_telemetry.Histogram
+module Span = Wsn_telemetry.Span
+module Export = Wsn_telemetry.Export
+
+let check = Alcotest.check
+
+(* The registry is process-global and the test binary runs many suites;
+   every test scrubs its state on the way in and out. *)
+let with_registry f =
+  Registry.reset ();
+  Registry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Registry.set_enabled false;
+      Registry.reset ())
+    f
+
+(* --- minimal JSON parser (validation + counter extraction) ---------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "JSON parse error at offset %d: %s" !pos msg in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'u' ->
+           (* accept and skip the four hex digits *)
+           for _ = 1 to 4 do
+             advance ();
+             match peek () with
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+             | _ -> fail "bad \\u escape"
+           done
+         | c -> Buffer.add_char buf c);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function
+  | Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> Alcotest.failf "missing JSON member %S" name)
+  | _ -> Alcotest.failf "expected object holding %S" name
+
+(* --- registry ------------------------------------------------------- *)
+
+let registry_counters_gauges () =
+  with_registry (fun () ->
+      let c = Registry.counter "test.counter" in
+      Registry.incr c;
+      Registry.incr c;
+      Registry.add c 40;
+      check Alcotest.int "counter accumulates" 42 (Registry.counter_value c);
+      check Alcotest.bool "interned handle" true (c == Registry.counter "test.counter");
+      let g = Registry.gauge "test.gauge" in
+      Registry.set g 3.0;
+      Registry.set_max g 2.0;
+      check (Alcotest.float 0.0) "set_max keeps high water" 3.0 (Registry.gauge_value g);
+      Registry.set_max g 7.5;
+      check (Alcotest.float 0.0) "set_max raises" 7.5 (Registry.gauge_value g);
+      let h = Registry.histogram "test.hist" in
+      Registry.observe h 1.0;
+      Registry.observe h 2.0;
+      let snap = Registry.snapshot () in
+      check Alcotest.int "snapshot counter" 42 (List.assoc "test.counter" snap.Registry.counters);
+      let d = List.assoc "test.hist" snap.Registry.histograms in
+      check Alcotest.int "snapshot histogram count" 2 d.Registry.count)
+
+let registry_disabled_is_noop () =
+  Registry.reset ();
+  Registry.set_enabled false;
+  let c = Registry.counter "test.disabled" in
+  Registry.incr c;
+  Registry.add c 10;
+  let g = Registry.gauge "test.disabled_gauge" in
+  Registry.set g 5.0;
+  let h = Registry.histogram "test.disabled_hist" in
+  Registry.observe h 1.0;
+  check Alcotest.int "disabled counter untouched" 0 (Registry.counter_value c);
+  check (Alcotest.float 0.0) "disabled gauge untouched" 0.0 (Registry.gauge_value g);
+  let snap = Registry.snapshot () in
+  check Alcotest.bool "nothing recorded" true
+    (snap.Registry.counters = [] && snap.Registry.gauges = [] && snap.Registry.histograms = [])
+
+(* --- histogram ------------------------------------------------------ *)
+
+let histogram_known_quantiles () =
+  let h = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.observe h (float_of_int v)
+  done;
+  check Alcotest.int "count" 1000 (Histogram.count h);
+  check (Alcotest.float 1e-9) "min" 1.0 (Histogram.min_value h);
+  check (Alcotest.float 1e-9) "max" 1000.0 (Histogram.max_value h);
+  check (Alcotest.float 1e-6) "sum" 500500.0 (Histogram.sum h);
+  (* Log-scale buckets are a factor 10^0.1 wide: quantiles are accurate
+     to ~13% relative error. *)
+  let within q expected =
+    let got = Histogram.quantile h q in
+    if Float.abs (got -. expected) > 0.13 *. expected then
+      Alcotest.failf "q%.2f: got %g, want %g +-13%%" q got expected
+  in
+  within 0.50 500.0;
+  within 0.90 900.0;
+  within 0.99 990.0;
+  check (Alcotest.float 1e-9) "q1 clamps to max" 1000.0 (Histogram.quantile h 1.0)
+
+let histogram_edge_cases () =
+  let h = Histogram.create () in
+  check Alcotest.bool "empty quantile is nan" true (Float.is_nan (Histogram.quantile h 0.5));
+  (* Constant data reports itself exactly thanks to min/max clamping. *)
+  for _ = 1 to 10 do
+    Histogram.observe h 7.0
+  done;
+  check (Alcotest.float 1e-9) "constant p50" 7.0 (Histogram.quantile h 0.5);
+  check (Alcotest.float 1e-9) "constant p99" 7.0 (Histogram.quantile h 0.99);
+  (* Zero and negative observations land in the underflow bucket. *)
+  let z = Histogram.create () in
+  Histogram.observe z 0.0;
+  Histogram.observe z (-3.0);
+  Histogram.observe z 5.0;
+  check Alcotest.int "underflow counted" 3 (Histogram.count z);
+  check (Alcotest.float 1e-9) "underflow p50 is 0" 0.0 (Histogram.quantile z 0.5)
+
+(* --- spans ---------------------------------------------------------- *)
+
+let span_nesting () =
+  with_registry (fun () ->
+      let saw = ref [] in
+      let result =
+        Span.with_span "outer" (fun () ->
+            saw := Span.current () :: !saw;
+            let x =
+              Span.with_span "inner" (fun () ->
+                  saw := Span.current () :: !saw;
+                  21)
+            in
+            x * 2)
+      in
+      check Alcotest.int "value threads through" 42 result;
+      check Alcotest.int "stack empty after" 0 (Span.depth ());
+      check
+        (Alcotest.list (Alcotest.list Alcotest.string))
+        "stacks seen inside" [ [ "inner"; "outer" ]; [ "outer" ] ] !saw;
+      let snap = Registry.snapshot () in
+      let outer = List.assoc "outer" snap.Registry.spans in
+      let inner = List.assoc "inner" snap.Registry.spans in
+      check Alcotest.int "outer count" 1 outer.Registry.count;
+      check Alcotest.int "inner count" 1 inner.Registry.count;
+      check Alcotest.bool "outer encloses inner" true (outer.Registry.sum >= inner.Registry.sum))
+
+let span_exception_unwinds () =
+  with_registry (fun () ->
+      (try Span.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+      check Alcotest.int "stack unwound" 0 (Span.depth ());
+      let snap = Registry.snapshot () in
+      check Alcotest.int "failed span still recorded" 1
+        (List.assoc "boom" snap.Registry.spans).Registry.count)
+
+let span_disabled_passthrough () =
+  Registry.reset ();
+  Registry.set_enabled false;
+  check Alcotest.int "disabled span runs body" 5 (Span.with_span "off" (fun () -> 5));
+  check Alcotest.int "no stack when disabled"
+    0 (Span.depth ());
+  let snap = Registry.snapshot () in
+  check Alcotest.bool "no span recorded" true (snap.Registry.spans = [])
+
+(* --- JSON export ---------------------------------------------------- *)
+
+let json_roundtrip () =
+  with_registry (fun () ->
+      Registry.add (Registry.counter "a.count") 7;
+      Registry.set (Registry.gauge "a.gauge") 2.5;
+      Registry.set (Registry.gauge "a.nan_gauge") nan;
+      let h = Registry.histogram "a.hist \"quoted\\name\"" in
+      Registry.observe h 10.0;
+      Registry.observe h 1000.0;
+      ignore (Span.with_span "a.span" (fun () -> ()));
+      let snap = Registry.snapshot () in
+      let json = Export.to_json snap in
+      let parsed = parse_json json in
+      (match member "a.count" (member "counters" parsed) with
+       | Num v -> check (Alcotest.float 0.0) "counter value" 7.0 v
+       | _ -> Alcotest.fail "counter not a number");
+      (match member "a.nan_gauge" (member "gauges" parsed) with
+       | Null -> ()
+       | _ -> Alcotest.fail "nan must encode as null");
+      let hist = member "a.hist \"quoted\\name\"" (member "histograms" parsed) in
+      (match (member "count" hist, member "min" hist, member "max" hist) with
+       | Num c, Num lo, Num hi ->
+         check (Alcotest.float 0.0) "hist count" 2.0 c;
+         check (Alcotest.float 1e-9) "hist min" 10.0 lo;
+         check (Alcotest.float 1e-9) "hist max" 1000.0 hi
+       | _ -> Alcotest.fail "hist stats not numbers");
+      match member "a.span" (member "spans" parsed) with
+      | Obj _ -> ()
+      | _ -> Alcotest.fail "span stats missing")
+
+let json_empty_snapshot () =
+  Registry.reset ();
+  let json = Export.to_json (Registry.snapshot ()) in
+  match parse_json json with
+  | Obj fields ->
+    check
+      (Alcotest.list Alcotest.string)
+      "sections present"
+      [ "counters"; "gauges"; "histograms"; "spans" ]
+      (List.map fst fields)
+  | _ -> Alcotest.fail "expected object"
+
+(* --- integration: Scenario II chain leaves solver telemetry --------- *)
+
+let scenario_ii_counts_pivots () =
+  with_registry (fun () ->
+      let module S2 = Wsn_workload.Scenarios.Scenario_ii in
+      let r = Wsn_availbw.Path_bandwidth.path_capacity S2.model ~path:S2.path in
+      check (Alcotest.float 1e-4) "still the paper optimum" 16.2
+        r.Wsn_availbw.Path_bandwidth.bandwidth_mbps;
+      let snap = Registry.snapshot () in
+      let counter name =
+        match List.assoc_opt name snap.Registry.counters with Some v -> v | None -> 0
+      in
+      check Alcotest.bool "lp.pivots > 0" true (counter "lp.pivots" > 0);
+      check Alcotest.bool "lp.solves > 0" true (counter "lp.solves" > 0);
+      check Alcotest.bool "colgen.columns > 0" true (counter "colgen.columns" > 0);
+      check Alcotest.bool "colgen.lp_resolves > 0" true (counter "colgen.lp_resolves" > 0);
+      let solve = List.assoc "lp.solve" snap.Registry.spans in
+      check Alcotest.bool "lp.solve latency recorded" true
+        (solve.Registry.count > 0 && solve.Registry.sum > 0.0))
+
+let suite =
+  [
+    Alcotest.test_case "registry counters and gauges" `Quick registry_counters_gauges;
+    Alcotest.test_case "registry disabled is a no-op" `Quick registry_disabled_is_noop;
+    Alcotest.test_case "histogram quantiles on known data" `Quick histogram_known_quantiles;
+    Alcotest.test_case "histogram edge cases" `Quick histogram_edge_cases;
+    Alcotest.test_case "span nesting" `Quick span_nesting;
+    Alcotest.test_case "span exception unwinds" `Quick span_exception_unwinds;
+    Alcotest.test_case "span disabled passthrough" `Quick span_disabled_passthrough;
+    Alcotest.test_case "json snapshot round-trips" `Quick json_roundtrip;
+    Alcotest.test_case "json empty snapshot" `Quick json_empty_snapshot;
+    Alcotest.test_case "scenario II solve counts pivots" `Quick scenario_ii_counts_pivots;
+  ]
