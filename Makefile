@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke clean
 
 all:
 	dune build
@@ -17,6 +17,18 @@ test: check
 SEED ?= 30
 bench:
 	dune exec bench/main.exe -- --seed $(SEED)
+
+# Three-arm perf suite (naive/cold, kernel/cold, kernel/warm) on a fixed
+# seed with a reduced workload; finishes in well under 30 s.
+bench-quick:
+	dune exec bench/main.exe -- --perf-quick --perf-out BENCH_perf_quick.json
+
+# Perf regression gate: tier-1 must pass, and the fast arm's counters on
+# the quick workload must stay within 10% of the committed baseline
+# (refresh with: dune exec bench/main.exe -- --perf-quick
+#  --write-perf-baseline bench/perf_baseline.txt).
+perfcheck: check
+	dune exec bench/main.exe -- --perf-quick --perf-out BENCH_perf_quick.json --check-perf bench/perf_baseline.txt
 
 # Everything compiles, including examples and benches.
 smoke:

@@ -157,6 +157,250 @@ let benchmark ~seed () =
       else Printf.printf "%-38s %10.2f ns/run\n" name ns)
     (List.sort compare rows)
 
+(* --- perf suite: naive/cold reference vs kernel/warm fast path ------ *)
+
+module Registry = Wsn_telemetry.Registry
+module Admission = Wsn_routing.Admission
+module Metrics = Wsn_routing.Metrics
+module Model = Wsn_conflict.Model
+module Flow = Wsn_availbw.Flow
+module Column_gen = Wsn_availbw.Column_gen
+module Independent = Wsn_conflict.Independent
+module Schedule = Wsn_sched.Schedule
+
+(* The perf artifact prints floats as hex literals: the fast
+   configuration (conflict kernel + warm-started master) must reproduce
+   the reference (naive model + cold master) byte for byte.  The one
+   exception is LP basic-variable values (schedule shares): the warm
+   master reaches the same optimum through a different arithmetic path
+   (incremental tableau updates instead of a rebuild), so shares carry
+   1-2 ulps of round-off and are printed at 12 significant digits
+   instead — still far beyond any experiment's reported precision. *)
+let add_schedule buf sched =
+  List.iter
+    (fun (s : Schedule.slot) ->
+      Printf.bprintf buf "slot [%s] [%s] %.12g\n"
+        (String.concat "," (List.map string_of_int s.Schedule.links))
+        (String.concat "," (List.map string_of_int s.Schedule.rates))
+        s.Schedule.share)
+    (Schedule.slots sched)
+
+let add_admission_run buf (run : Admission.run) =
+  Printf.bprintf buf "run %s first_failure=%s\n" run.Admission.label
+    (match run.Admission.first_failure with None -> "-" | Some i -> string_of_int i);
+  List.iter
+    (fun (s : Admission.step) ->
+      Printf.bprintf buf "step %d %d->%d demand=%h path=[%s] avail=%h admitted=%b\n"
+        s.Admission.index s.Admission.source s.Admission.target s.Admission.demand_mbps
+        (match s.Admission.path with
+         | None -> "-"
+         | Some p -> String.concat "," (List.map string_of_int p))
+        s.Admission.available_mbps s.Admission.admitted)
+    run.Admission.steps
+
+(* One full Fig. 2-style pass over the random scenario: sequential
+   admission per routing metric, a column-generation pass over the
+   final background, and an explicit independent-set enumeration.
+   Returns the printed artifact and the colgen optimum. *)
+let perf_pipeline ~seed ~n_flows ~metrics ~kernel ~warm () =
+  let scenario = RS.generate ~n_flows ~seed () in
+  let topo = scenario.RS.topology in
+  let model = if kernel then Model.physical topo else Model.physical_naive topo in
+  let buf = Buffer.create (1 lsl 16) in
+  let last_run =
+    List.fold_left
+      (fun _ metric ->
+        (* [stop_on_failure:false]: keep admitting past the first
+           failure so the pipeline exercises the full flow list. *)
+        let run =
+          Admission.run ~stop_on_failure:false topo model ~metric ~flows:scenario.RS.flows
+        in
+        add_admission_run buf run;
+        Some run)
+      None metrics
+  in
+  let colgen_mbps = ref nan in
+  (match last_run with
+   | None -> ()
+   | Some run -> (
+     match Admission.admitted_flows run with
+     | [] -> Buffer.add_string buf "no admitted flows\n"
+     | f :: rest ->
+       (match Column_gen.available ~warm model ~background:rest ~path:(Flow.links f) with
+        | Some r ->
+          colgen_mbps := r.Column_gen.bandwidth_mbps;
+          Printf.bprintf buf "colgen avail=%h cols=%d iters=%d\n" r.Column_gen.bandwidth_mbps
+            r.Column_gen.columns_generated r.Column_gen.iterations;
+          add_schedule buf r.Column_gen.schedule
+        | None -> Buffer.add_string buf "colgen infeasible\n");
+       let universe = Flow.union_links (f :: rest) in
+       let cols = Independent.columns model ~universe in
+       Printf.bprintf buf "enum-columns %d\n" (List.length cols);
+       List.iter
+         (fun (c : Independent.column) ->
+           Printf.bprintf buf "col [%s] [%s] [%s]\n"
+             (String.concat "," (List.map string_of_int c.Independent.links))
+             (String.concat "," (List.map string_of_int c.Independent.rates))
+             (String.concat "," (List.map (Printf.sprintf "%h") (Array.to_list c.Independent.mbps))))
+         cols));
+  (Buffer.contents buf, !colgen_mbps)
+
+type arm = {
+  artifact : string;
+  colgen_mbps : float;
+  wall_s : float;
+  counters : (string * int) list;
+  spans : (string * float) list;  (* name, summed seconds *)
+}
+
+let run_arm ~seed ~n_flows ~metrics ~kernel ~warm () =
+  Registry.reset ();
+  Registry.set_enabled true;
+  let t0 = Unix.gettimeofday () in
+  let artifact, colgen_mbps = perf_pipeline ~seed ~n_flows ~metrics ~kernel ~warm () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let snap = Registry.snapshot () in
+  Registry.set_enabled false;
+  Registry.reset ();
+  {
+    artifact;
+    colgen_mbps;
+    wall_s;
+    counters = snap.Registry.counters;
+    spans = List.map (fun (n, d) -> (n, d.Registry.sum)) snap.Registry.spans;
+  }
+
+let counter_of arm name = match List.assoc_opt name arm.counters with Some v -> v | None -> 0
+
+let span_of arm name = match List.assoc_opt name arm.spans with Some v -> v | None -> 0.0
+
+(* Raw SINR work per arm: the naive model burns [phy.sinr_evals]; the
+   kernel replaces them with (far fewer) [kernel.rate_evals] on
+   precomputed power sums. *)
+let sinr_work arm = counter_of arm "phy.sinr_evals" + counter_of arm "kernel.rate_evals"
+
+let perf_spans = [ "colgen.available"; "pathbw.solve"; "independent.columns" ]
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let write_perf_json ~path ~seed ~quick ~naive ~kernel_cold ~fast ~identical ~warm_drift =
+  let buf = Buffer.create 4096 in
+  let arm_json a =
+    let counters =
+      String.concat ","
+        (List.map (fun (n, v) -> Printf.sprintf "\"%s\":%d" n v) a.counters)
+    in
+    let spans =
+      String.concat ","
+        (List.map (fun (n, v) -> Printf.sprintf "\"%s\":%s" n (json_float v)) a.spans)
+    in
+    Printf.sprintf "{\"wall_s\":%s,\"counters\":{%s},\"spans\":{%s}}" (json_float a.wall_s)
+      counters spans
+  in
+  let ratio num den = if den > 0.0 then json_float (num /. den) else "null" in
+  Printf.bprintf buf "{\n  \"seed\": %Ld,\n  \"quick\": %b,\n" seed quick;
+  Printf.bprintf buf "  \"outputs_identical\": %b,\n" identical;
+  Printf.bprintf buf "  \"warm_optimum_drift\": %s,\n" (json_float warm_drift);
+  Printf.bprintf buf "  \"sinr_evals\": {\"naive\": %d, \"fast\": %d, \"ratio\": %s},\n"
+    (sinr_work naive) (sinr_work fast)
+    (ratio (float_of_int (sinr_work naive)) (float_of_int (sinr_work fast)));
+  Printf.bprintf buf "  \"span_speedup\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "\"%s\": %s" s (ratio (span_of naive s) (span_of fast s)))
+          perf_spans));
+  Printf.bprintf buf "  \"wall_speedup\": %s,\n" (ratio naive.wall_s fast.wall_s);
+  Printf.bprintf buf "  \"naive\": %s,\n  \"kernel_cold\": %s,\n  \"fast\": %s\n}\n"
+    (arm_json naive) (arm_json kernel_cold) (arm_json fast);
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let perf ~seed ~quick ~out ~baseline_out ~check () =
+  let n_flows = if quick then 4 else 8 in
+  let metrics =
+    if quick then [ Metrics.Average_e2e_delay ]
+    else [ Metrics.Average_e2e_delay; Metrics.E2e_transmission_delay ]
+  in
+  Printf.printf "perf suite: seed %Ld, %d flows, %s mode\n%!" seed n_flows
+    (if quick then "quick" else "full");
+  (* Three arms, two claims.  Kernel vs naive (both cold masters):
+     byte-identical outputs — the kernel is behaviourally invisible.
+     Warm vs cold (timing headline naive/cold vs kernel/warm): same
+     optimum up to simplex round-off; a degenerate master may follow a
+     different (equally optimal) column sequence, so the schedules are
+     compared by optimum value, not bytes. *)
+  let naive = run_arm ~seed ~n_flows ~metrics ~kernel:false ~warm:false () in
+  Printf.printf "  naive/cold:  %.2fs, %d raw SINR evals\n%!" naive.wall_s (sinr_work naive);
+  let kernel_cold = run_arm ~seed ~n_flows ~metrics ~kernel:true ~warm:false () in
+  Printf.printf "  kernel/cold: %.2fs, %d rate evals\n%!" kernel_cold.wall_s (sinr_work kernel_cold);
+  let fast = run_arm ~seed ~n_flows ~metrics ~kernel:true ~warm:true () in
+  Printf.printf "  kernel/warm: %.2fs, %d rate evals\n%!" fast.wall_s (sinr_work fast);
+  let identical = String.equal naive.artifact kernel_cold.artifact in
+  let warm_drift =
+    if Float.is_nan naive.colgen_mbps && Float.is_nan fast.colgen_mbps then 0.0
+    else Float.abs (naive.colgen_mbps -. fast.colgen_mbps)
+  in
+  Printf.printf "  outputs identical (kernel vs naive): %b\n" identical;
+  Printf.printf "  warm optimum drift: %.3g Mbps\n" warm_drift;
+  Printf.printf "  SINR-eval ratio: %.1fx fewer\n"
+    (float_of_int (sinr_work naive) /. float_of_int (max 1 (sinr_work fast)));
+  List.iter
+    (fun s ->
+      let n = span_of naive s and f = span_of fast s in
+      if f > 0.0 then Printf.printf "  span %-22s %.3fs -> %.3fs (%.1fx)\n" s n f (n /. f))
+    perf_spans;
+  write_perf_json ~path:out ~seed ~quick ~naive ~kernel_cold ~fast ~identical ~warm_drift;
+  Printf.printf "wrote %s\n" out;
+  (match baseline_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     List.iter (fun (n, v) -> Printf.fprintf oc "%s %d\n" n v) fast.counters;
+     close_out oc;
+     Printf.printf "wrote counter baseline to %s\n" path);
+  let failed = ref false in
+  if not identical then begin
+    let dump suffix a =
+      let path = out ^ suffix in
+      let oc = open_out path in
+      output_string oc a.artifact;
+      close_out oc;
+      path
+    in
+    Printf.eprintf "PERF FAIL: kernel outputs differ from the naive reference (diff %s %s)\n"
+      (dump ".naive.txt" naive) (dump ".fast.txt" kernel_cold);
+    failed := true
+  end;
+  if warm_drift > 1e-6 || Float.is_nan naive.colgen_mbps <> Float.is_nan fast.colgen_mbps then begin
+    Printf.eprintf "PERF FAIL: warm-started optimum drifted %.3g Mbps from the cold reference\n"
+      warm_drift;
+    failed := true
+  end;
+  (match check with
+   | None -> ()
+   | Some path ->
+     (* Committed-counter regression gate: every baseline counter may
+        grow by at most 10% (plus a slack of 5 for tiny counts). *)
+     let ic = open_in path in
+     (try
+        while true do
+          let line = input_line ic in
+          match String.split_on_char ' ' (String.trim line) with
+          | [ name; v ] when v <> "" ->
+            let base = int_of_string v in
+            let cur = counter_of fast name in
+            let limit = int_of_float (ceil (1.10 *. float_of_int base)) + 5 in
+            if cur > limit then begin
+              Printf.eprintf "PERF FAIL: counter %s regressed: %d > %d (baseline %d +10%%)\n" name
+                cur limit base;
+              failed := true
+            end
+          | _ -> ()
+        done
+      with End_of_file -> close_in ic));
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -168,6 +412,11 @@ let () =
   let seed = ref 30L in
   let out = ref "BENCH_telemetry.json" in
   let skip_timing = ref false in
+  let perf_mode = ref false in
+  let perf_quick = ref false in
+  let perf_out = ref "BENCH_perf.json" in
+  let perf_baseline = ref "" in
+  let perf_check = ref "" in
   Arg.parse
     [
       ( "--seed",
@@ -179,9 +428,21 @@ let () =
         "SEED experiment seed (default 30)" );
       ("--telemetry-out", Arg.Set_string out, "FILE telemetry snapshot path (default BENCH_telemetry.json)");
       ("--no-timing", Arg.Set skip_timing, " regenerate figures and telemetry only, skip Bechamel");
+      ("--perf", Arg.Set perf_mode, " run the naive-vs-kernel perf suite instead of the figure pass");
+      ("--perf-quick", Arg.Unit (fun () -> perf_mode := true; perf_quick := true), " perf suite, reduced workload (fixed time budget)");
+      ("--perf-out", Arg.Set_string perf_out, "FILE perf report path (default BENCH_perf.json)");
+      ("--write-perf-baseline", Arg.Set_string perf_baseline, "FILE dump fast-arm counters as a flat baseline");
+      ("--check-perf", Arg.Set_string perf_check, "FILE fail if fast-arm counters exceed baseline by >10%");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing]";
+    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE]";
+  if !perf_mode then begin
+    perf ~seed:!seed ~quick:!perf_quick ~out:!perf_out
+      ~baseline_out:(if !perf_baseline = "" then None else Some !perf_baseline)
+      ~check:(if !perf_check = "" then None else Some !perf_check)
+      ();
+    exit 0
+  end;
   Wsn_telemetry.Registry.set_enabled true;
   regenerate ~seed:!seed ();
   let snap = Wsn_telemetry.Registry.snapshot () in

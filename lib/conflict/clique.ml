@@ -32,26 +32,46 @@ let is_maximal_clique model ~universe couples =
       || not (List.for_all (fun c -> pairwise_interferes model cand c) couples))
     (candidate_couples model ~universe)
 
-(* Bron–Kerbosch with pivoting over an adjacency predicate on vertices
-   [0 .. n-1].  [emit] receives each maximal clique once. *)
-let bron_kerbosch ~n ~adjacent ~emit =
+(* Symmetric adjacency as one bitset per vertex, built with a single
+   pairwise-interference pass over the upper triangle.  The walk itself
+   then never touches the model again. *)
+let adjacency_bitsets n adjacent =
+  let adj = Array.init n (fun _ -> Bitset.create n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if adjacent i j then begin
+        Bitset.add adj.(i) j;
+        Bitset.add adj.(j) i
+      end
+    done
+  done;
+  adj
+
+(* Bron–Kerbosch with pivoting over precomputed per-vertex adjacency
+   bitsets on vertices [0 .. n-1].  [emit] receives each maximal clique
+   once.  Candidate sets stay sorted lists, so recursion order, pivot
+   tie-breaking and emission order are exactly those of the predicate
+   version; only adjacency tests (O(1)) and pivot degree counts
+   (O(words) intersections) changed representation. *)
+let bron_kerbosch ~n ~adj ~emit =
   let rec bk r p x =
     match (p, x) with
     | [], [] -> emit (List.rev r)
     | _ ->
+      let pbs = Bitset.of_list n p in
       let pivot =
         List.fold_left
           (fun (bv, bc) v ->
-            let c = List.length (List.filter (fun u -> adjacent v u) p) in
+            let c = Bitset.inter_popcount adj.(v) pbs in
             if c > bc then (v, c) else (bv, bc))
           (-1, -1) (p @ x)
         |> fst
       in
-      let expand = List.filter (fun v -> not (adjacent pivot v)) p in
+      let expand = List.filter (fun v -> not (Bitset.mem adj.(pivot) v)) p in
       let rec loop p x = function
         | [] -> ()
         | v :: rest ->
-          let keep u = adjacent v u in
+          let keep u = Bitset.mem adj.(v) u in
           bk (v :: r) (List.filter keep p) (List.filter keep x);
           loop (List.filter (fun u -> u <> v) p) (v :: x) rest
       in
@@ -63,12 +83,12 @@ let maximal_cliques_at model ~links ~rate_of =
   let links = List.sort_uniq compare links in
   let arr = Array.of_list links in
   let n = Array.length arr in
-  let adjacent i j =
-    i <> j
-    && pairwise_interferes model (arr.(i), rate_of arr.(i)) (arr.(j), rate_of arr.(j))
+  let adj =
+    adjacency_bitsets n (fun i j ->
+        pairwise_interferes model (arr.(i), rate_of arr.(i)) (arr.(j), rate_of arr.(j)))
   in
   let acc = ref [] in
-  bron_kerbosch ~n ~adjacent ~emit:(fun vs -> acc := List.sort compare (List.map (fun i -> arr.(i)) vs) :: !acc);
+  bron_kerbosch ~n ~adj ~emit:(fun vs -> acc := List.sort compare (List.map (fun i -> arr.(i)) vs) :: !acc);
   List.rev !acc
 
 let default_max_cliques = 100_000
@@ -76,13 +96,14 @@ let default_max_cliques = 100_000
 let maximal_rate_coupled_cliques ?(max_cliques = default_max_cliques) model ~universe =
   let couples = Array.of_list (candidate_couples model ~universe) in
   let n = Array.length couples in
-  let adjacent i j =
-    let (li, _) = couples.(i) and (lj, _) = couples.(j) in
-    li <> lj && pairwise_interferes model couples.(i) couples.(j)
+  let adj =
+    adjacency_bitsets n (fun i j ->
+        let (li, _) = couples.(i) and (lj, _) = couples.(j) in
+        li <> lj && pairwise_interferes model couples.(i) couples.(j))
   in
   let count = ref 0 in
   let acc = ref [] in
-  bron_kerbosch ~n ~adjacent ~emit:(fun vs ->
+  bron_kerbosch ~n ~adj ~emit:(fun vs ->
       incr count;
       if !count > max_cliques then failwith "Clique.maximal_rate_coupled_cliques: too many cliques";
       acc := List.sort compare (List.map (fun i -> couples.(i)) vs) :: !acc);

@@ -1,46 +1,172 @@
 module Rate = Wsn_radio.Rate
+module Telemetry = Wsn_telemetry.Registry
 
 type column = { links : int list; rates : Rate.t list; mbps : float array }
 
+let m_enumerations = Telemetry.counter "independent.enumerations"
+
+let m_sets = Telemetry.counter "independent.sets"
+
+let m_memo_hits = Telemetry.counter "independent.memo_hits"
+
 let default_max_sets = 200_000
+
+let too_many () = failwith "Independent.enumerate_sets: too many independent sets"
+
+let live_links model universe =
+  List.filter (fun l -> Model.alone_best model l <> None) (List.sort_uniq compare universe)
+
+(* --- per-kernel memo of whole enumerations --------------------------
+   The admission and path-bandwidth layers query the same universes over
+   and over (same path under several metrics, growing backgrounds over a
+   shared core); enumeration results are pure functions of the kernel
+   and the universe, so a kernel-backed model memoises them wholesale in
+   {!Kernel.scratch}.  Entries also record the enumerated-set count so a
+   later call with a tighter [max_sets] replays the explosion guard
+   exactly as a fresh run would. *)
+
+exception Enum_memo of (string, int * int list list) Hashtbl.t
+
+exception Maximal_memo of (string, int * int list list) Hashtbl.t
+
+exception Columns_memo of (string, int * column list) Hashtbl.t
+
+let univ_key universe = String.concat "," (List.map string_of_int universe)
+
+let enum_memo k =
+  match Hashtbl.find_opt (Kernel.scratch k) "independent.sets" with
+  | Some (Enum_memo h) -> h
+  | _ ->
+    let h = Hashtbl.create 16 in
+    Hashtbl.replace (Kernel.scratch k) "independent.sets" (Enum_memo h);
+    h
+
+let maximal_memo k =
+  match Hashtbl.find_opt (Kernel.scratch k) "independent.maximal" with
+  | Some (Maximal_memo h) -> h
+  | _ ->
+    let h = Hashtbl.create 16 in
+    Hashtbl.replace (Kernel.scratch k) "independent.maximal" (Maximal_memo h);
+    h
+
+let columns_memo k =
+  match Hashtbl.find_opt (Kernel.scratch k) "independent.columns" with
+  | Some (Columns_memo h) -> h
+  | _ ->
+    let h = Hashtbl.create 16 in
+    Hashtbl.replace (Kernel.scratch k) "independent.columns" (Columns_memo h);
+    h
+
+(* Memo lookup: [n_sets] is the stored enumeration size; replaying the
+   guard keeps memoised behaviour indistinguishable from a fresh run. *)
+let memo_find memo key ~max_sets =
+  match Hashtbl.find_opt memo key with
+  | Some (n_sets, v) ->
+    if n_sets > max_sets then too_many ();
+    Telemetry.incr m_memo_hits;
+    Some v
+  | None -> None
 
 (* Enumerate independent sets by ordered extension: independence is
    anti-monotone, so any independent set is reached by adding links in
-   ascending order through independent prefixes only. *)
-let enumerate_sets ?(max_sets = default_max_sets) model ~universe =
-  let universe = List.sort_uniq compare universe in
-  let live = List.filter (fun l -> Model.alone_best model l <> None) universe in
+   ascending order through independent prefixes only.  Partial sets are
+   kept reversed (constant-time extension) and reversed once per
+   emission.  With a kernel-backed model the extension test is
+   incremental — O(|set|) threshold checks against the running state
+   instead of re-validating the whole candidate set. *)
+let enumerate_fresh ~max_sets model ~universe =
+  let live = live_links model universe in
   let count = ref 0 in
   let results = ref [] in
   let emit set =
     incr count;
-    if !count > max_sets then failwith "Independent.enumerate_sets: too many independent sets";
+    if !count > max_sets then too_many ();
     results := set :: !results
   in
-  let rec extend set candidates =
-    match candidates with
-    | [] -> ()
-    | l :: rest ->
-      (let candidate = set @ [ l ] in
-       if Model.independent model candidate then begin
-         emit candidate;
-         extend candidate rest
-       end);
-      extend set rest
-  in
-  extend [] live;
+  (match Model.kernel model with
+   | Some k ->
+     let st = Kernel.Inc.start k in
+     let rec extend rev_set candidates =
+       match candidates with
+       | [] -> ()
+       | l :: rest ->
+         (if Kernel.Inc.add_sorted st l then begin
+            let rev_candidate = l :: rev_set in
+            emit (List.rev rev_candidate);
+            extend rev_candidate rest;
+            Kernel.Inc.undo st
+          end);
+         extend rev_set rest
+     in
+     extend [] live
+   | None ->
+     let rec extend rev_set candidates =
+       match candidates with
+       | [] -> ()
+       | l :: rest ->
+         (let candidate = List.rev (l :: rev_set) in
+          if Model.independent model candidate then begin
+            emit candidate;
+            extend (l :: rev_set) rest
+          end);
+         extend rev_set rest
+     in
+     extend [] live);
+  Telemetry.add m_sets !count;
   List.rev !results
 
-let maximal_sets ?max_sets model ~universe =
+let enumerate_sets ?(max_sets = default_max_sets) model ~universe =
+  Telemetry.incr m_enumerations;
+  match Model.kernel model with
+  | None -> enumerate_fresh ~max_sets model ~universe
+  | Some k ->
+    let memo = enum_memo k in
+    let key = univ_key (List.sort_uniq compare universe) in
+    (match memo_find memo key ~max_sets with
+     | Some sets -> sets
+     | None ->
+       let sets = enumerate_fresh ~max_sets model ~universe in
+       Hashtbl.replace memo key (List.length sets, sets);
+       sets)
+
+(* A set is inclusion-maximal iff no one-link extension is independent;
+   by anti-monotonicity every independent one-link extension is itself
+   in the enumeration, so membership hashing replaces the old
+   O(sets² · n) pairwise subset filter. *)
+let maximal_fresh ?max_sets model ~universe =
   let sets = enumerate_sets ?max_sets model ~universe in
-  let module S = Set.Make (Int) in
-  let as_sets = List.map S.of_list sets in
-  List.filter_map
-    (fun s ->
-      let ss = S.of_list s in
-      let strictly_contained = List.exists (fun other -> S.subset ss other && not (S.equal ss other)) as_sets in
-      if strictly_contained then None else Some s)
-    sets
+  let live = live_links model universe in
+  let key links = String.concat "," (List.map string_of_int links) in
+  let enumerated = Hashtbl.create (2 * List.length sets) in
+  List.iter (fun s -> Hashtbl.replace enumerated (key s) ()) sets;
+  let rec insert l = function
+    | [] -> [ l ]
+    | x :: _ as rest when l < x -> l :: rest
+    | x :: rest -> x :: insert l rest
+  in
+  let maximal =
+    List.filter
+      (fun s ->
+        not
+          (List.exists
+             (fun l -> (not (List.mem l s)) && Hashtbl.mem enumerated (key (insert l s)))
+             live))
+      sets
+  in
+  (List.length sets, maximal)
+
+let maximal_sets ?max_sets model ~universe =
+  match Model.kernel model with
+  | None -> snd (maximal_fresh ?max_sets model ~universe)
+  | Some k ->
+    let memo = maximal_memo k in
+    let key = univ_key (List.sort_uniq compare universe) in
+    (match memo_find memo key ~max_sets:(Option.value max_sets ~default:default_max_sets) with
+     | Some maximal -> maximal
+     | None ->
+       let n_sets, maximal = maximal_fresh ?max_sets model ~universe in
+       Hashtbl.replace memo key (n_sets, maximal);
+       maximal)
 
 let feasible_assignments model set =
   let set = List.sort_uniq compare set in
@@ -71,8 +197,16 @@ let pareto_vectors model set =
     let vectors = List.sort_uniq compare vectors in
     List.filter (fun v -> not (List.exists (fun u -> dominates_rates u v) vectors)) vectors
 
-let columns ?max_sets ?(filter_dominated = true) model ~universe =
-  let universe = List.sort_uniq compare universe in
+(* Hashtbl key for an mbps vector.  Canonical bytes, not a float list:
+   [x +. 0.0] maps -0.0 to +0.0 before taking the IEEE bit pattern, so
+   the two zeros can neither alias distinct vectors nor split equal
+   ones the way polymorphic hashing of raw floats could. *)
+let mbps_key mbps =
+  let b = Buffer.create (8 * Array.length mbps) in
+  Array.iter (fun x -> Buffer.add_int64_le b (Int64.bits_of_float (x +. 0.0))) mbps;
+  Buffer.contents b
+
+let columns_fresh ?max_sets ~filter_dominated model ~universe =
   let index = Hashtbl.create 16 in
   List.iteri (fun i l -> Hashtbl.replace index l i) universe;
   let n = List.length universe in
@@ -94,7 +228,7 @@ let columns ?max_sets ?(filter_dominated = true) model ~universe =
     let seen = Hashtbl.create 64 in
     List.filter
       (fun c ->
-        let key = Array.to_list c.mbps in
+        let key = mbps_key c.mbps in
         if Hashtbl.mem seen key then false
         else begin
           Hashtbl.add seen key ();
@@ -103,16 +237,27 @@ let columns ?max_sets ?(filter_dominated = true) model ~universe =
       raw
   in
   let dominated c =
-    List.exists
-      (fun other ->
-        other != c
-        && (let ge = ref true and gt = ref false in
-            Array.iteri
-              (fun i x ->
-                if other.mbps.(i) < x -. 1e-12 then ge := false
-                else if other.mbps.(i) > x +. 1e-12 then gt := true)
-              c.mbps;
-            !ge && !gt))
-      raw
+    let n = Array.length c.mbps in
+    (* Early exits: most candidate pairs fail the ≥ sweep within a
+       component or two, so bail at the first violation instead of
+       finishing the scan (same verdict as the full sweep). *)
+    let rec ge other i = i >= n || (other.mbps.(i) >= c.mbps.(i) -. 1e-12 && ge other (i + 1)) in
+    let rec gt other i = i < n && (other.mbps.(i) > c.mbps.(i) +. 1e-12 || gt other (i + 1)) in
+    List.exists (fun other -> other != c && ge other 0 && gt other 0) raw
   in
-  if filter_dominated then List.filter (fun c -> not (dominated c)) raw else raw
+  (List.length sets, if filter_dominated then List.filter (fun c -> not (dominated c)) raw else raw)
+
+let columns ?max_sets ?(filter_dominated = true) model ~universe =
+  Wsn_telemetry.Span.with_span "independent.columns" @@ fun () ->
+  let universe = List.sort_uniq compare universe in
+  match Model.kernel model with
+  | None -> snd (columns_fresh ?max_sets ~filter_dominated model ~universe)
+  | Some k ->
+    let memo = columns_memo k in
+    let key = (if filter_dominated then "d|" else "a|") ^ univ_key universe in
+    (match memo_find memo key ~max_sets:(Option.value max_sets ~default:default_max_sets) with
+     | Some cols -> cols
+     | None ->
+       let n_sets, cols = columns_fresh ?max_sets ~filter_dominated model ~universe in
+       Hashtbl.replace memo key (n_sets, cols);
+       cols)

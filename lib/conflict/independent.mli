@@ -44,4 +44,10 @@ val columns :
     somewhere.  [~filter_dominated:false] keeps every (deduplicated)
     Pareto vector — required when a caller restricts the column set
     further and still needs per-set coverage (Section 3.3 lower
-    bounds). *)
+    bounds).
+
+    With a kernel-backed model ({!Model.physical}) the result — like
+    {!enumerate_sets} and {!maximal_sets} — is memoised per universe for
+    the lifetime of the kernel (admission re-queries the same universes
+    under every metric); callers must treat the returned columns,
+    including their [mbps] arrays, as immutable. *)

@@ -1,0 +1,109 @@
+(** Precomputed conflict kernel over a physical (SINR) topology.
+
+    The naive physical model recomputes, for every feasibility query,
+    the pairwise node distances, received powers and SINR of every link
+    in the candidate set — O(|set|²) transcendental evaluations per
+    call, repeated exponentially often by the independent-set
+    enumerator, the clique walk and the pricing branch-and-bound.  The
+    kernel hoists everything that depends only on the topology out of
+    the loop, once per topology:
+
+    - the per-link received signal power and per-rate sensitivity
+      verdicts (Equation 1, first condition);
+    - the pairwise interference power [interf(i, j)]: power reaching
+      link [j]'s receiver from link [i]'s transmitter (the summands of
+      Equation 3);
+    - the half-duplex adjacency of every link as a {!Bitset.t};
+    - the linear SNR requirement of every rate (Equation 1, second
+      condition).
+
+    A feasibility query then reduces to O(words) bitset intersections
+    plus one addition and a handful of float compares per link — no
+    distances, no powers.  Whole-set maximum rate vectors are further
+    memoised per link set, and an incremental {!Inc} state supports the
+    enumerators' add-one-link/undo discipline in O(|set|) with no
+    re-validation of the prefix (anti-monotonicity, Proposition 1).
+
+    All numeric paths reproduce the naive model's float operations
+    exactly (same powers, same SNR compares, same summation order for
+    ascending sets), so results are bit-compatible with
+    {!Model.physical_naive}. *)
+
+type t
+
+val create : Wsn_net.Topology.t -> t
+(** Precompute the kernel: O(links²) work, once per topology. *)
+
+val n_links : t -> int
+
+val rates : t -> Wsn_radio.Rate.table
+
+val alone_rates : t -> int -> Wsn_radio.Rate.t list
+(** Rates the link supports alone, fastest first (Equation 1). *)
+
+val max_vector : t -> int list -> Wsn_radio.Rate.t array option
+(** Maximum supported rate vector of a concurrent set, indexed like the
+    argument; [None] when the set is not independent (half-duplex
+    violation, repeated link, or some link left with no rate).
+    Memoised per link set. *)
+
+val feasible : t -> (int * Wsn_radio.Rate.t) list -> bool
+(** Whether the assignment's rates are all at-or-below the set's
+    maximum vector.  Performs no argument validation (callers go
+    through {!Model.feasible}). *)
+
+val scratch : t -> (string, exn) Hashtbl.t
+(** Per-kernel memo store for higher layers of the conflict library
+    (a universal type via exception constructors: each client declares
+    its own exception carrying its cache and claims one key).  Results
+    memoised here are pure functions of the kernel, so the store is
+    sound for the kernel's whole lifetime. *)
+
+(** Incremental independent-set construction: grow a set one link at a
+    time, checking only the new link against the running partial set
+    and updating every member's interference sum and maximum rate in
+    O(|set|).  Backtracking ([undo]) restores the exact previous
+    floats, so DFS enumeration is bit-stable. *)
+module Inc : sig
+  type state
+
+  val start : t -> state
+  (** Fresh empty state. *)
+
+  val add : state -> int -> bool
+  (** [add st l] tries to extend the set with link [l].  Returns
+      [false] (state unchanged) when [l] violates half-duplex against
+      the set, supports no rate under the set's interference, or
+      starves some member of its last rate.  On [true] the state now
+      includes [l] with every member's maximum rate updated. *)
+
+  val add_sorted : state -> int -> bool
+  (** As {!add}, for callers that insert links in strictly ascending
+      order (the DFS enumerators): insertion order then coincides with
+      the whole-set cache's canonical order, so the attempt consults —
+      and on a miss populates — the {!max_vector} memo, skipping all
+      SINR work for sets any earlier enumeration or whole-set query has
+      touched.  Verdicts and resulting state are bit-identical to
+      {!add}.
+      @raise Invalid_argument when [l] is not greater than the last
+      member. *)
+
+  val undo : state -> unit
+  (** Revert the most recent successful {!add} or {!add_sorted}.
+      @raise Invalid_argument when the set is empty. *)
+
+  val size : state -> int
+
+  val member : state -> int -> int
+  (** [member st p] is the link added [p]-th (insertion order). *)
+
+  val max_rate : state -> int -> Wsn_radio.Rate.t
+  (** [max_rate st p] is the current maximum supported rate of the
+      [p]-th member under the whole set's interference. *)
+
+  val last_max_rate : state -> Wsn_radio.Rate.t
+  (** Maximum rate of the most recently added member. *)
+
+  val members : state -> int list
+  (** Links in insertion order. *)
+end

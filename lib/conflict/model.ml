@@ -3,6 +3,9 @@ module Phy = Wsn_radio.Phy
 module Topology = Wsn_net.Topology
 module Point = Wsn_net.Point
 module Digraph = Wsn_graph.Digraph
+module Telemetry = Wsn_telemetry.Registry
+
+let m_feasibility = Telemetry.counter "conflict.feasibility_checks"
 
 type assignment = (int * Rate.t) list
 
@@ -12,10 +15,20 @@ type t = {
   alone_rates : int -> Rate.t list;
   feasible_raw : assignment -> bool;
   fast_max_vector : (int list -> Rate.t array option) option;
+  kernel : Kernel.t option;
 }
 
 let create ~n_links ~rates ~alone_rates ~feasible ?max_vector () =
-  { n_links; rates; alone_rates; feasible_raw = feasible; fast_max_vector = max_vector }
+  {
+    n_links;
+    rates;
+    alone_rates;
+    feasible_raw = feasible;
+    fast_max_vector = max_vector;
+    kernel = None;
+  }
+
+let kernel t = t.kernel
 
 let n_links t = t.n_links
 
@@ -39,6 +52,7 @@ let validate t assignment =
 
 let feasible t assignment =
   validate t assignment;
+  Telemetry.incr m_feasibility;
   t.feasible_raw assignment
 
 let interferes t ((l1, _) as a) ((l2, _) as b) =
@@ -65,6 +79,7 @@ let rec extend_from t acc = function
 let find_assignment t set = extend_from t [] set
 
 let independent t set =
+  Telemetry.incr m_feasibility;
   match t.fast_max_vector with
   | Some f -> f set <> None
   | None -> find_assignment t set <> None
@@ -94,7 +109,10 @@ let max_vector t set =
 
 (* --- Physical (SINR) model over a topology ------------------------- *)
 
-let physical topo =
+(* Reference implementation: distances, powers and SINR recomputed from
+   scratch on every query.  Kept as the ground truth the precomputed
+   kernel is tested against (and benchmarked as the "before" side). *)
+let physical_naive topo =
   let phy = Topology.phy topo in
   let rates = Phy.rates phy in
   let nl = Topology.n_links topo in
@@ -159,6 +177,17 @@ let physical topo =
       List.for_all2 (fun (_, r) m -> r >= m) assignment (Array.to_list maxes)
   in
   create ~n_links:nl ~rates ~alone_rates ~feasible ~max_vector ()
+
+let physical topo =
+  let k = Kernel.create topo in
+  {
+    n_links = Kernel.n_links k;
+    rates = Kernel.rates k;
+    alone_rates = Kernel.alone_rates k;
+    feasible_raw = (fun assignment -> Kernel.feasible k assignment);
+    fast_max_vector = Some (fun set -> Kernel.max_vector k set);
+    kernel = Some k;
+  }
 
 (* --- Declared pairwise model --------------------------------------- *)
 

@@ -37,7 +37,22 @@ val create :
     cannot all transmit), and is used as a fast path. *)
 
 val physical : Wsn_net.Topology.t -> t
-(** SINR-derived model over a topology; link ids are the topology's. *)
+(** SINR-derived model over a topology; link ids are the topology's.
+    Backed by a precomputed {!Kernel.t} (distance/interference tables,
+    half-duplex bitsets, memoised rate vectors), so repeated
+    feasibility queries cost array lookups instead of fresh SINR
+    evaluations.  Results agree with {!physical_naive}. *)
+
+val physical_naive : Wsn_net.Topology.t -> t
+(** The reference SINR model: every query recomputes distances, powers
+    and SINR from scratch.  Semantically identical to {!physical};
+    kept as the oracle for the kernel's property tests and as the
+    benchmark baseline. *)
+
+val kernel : t -> Kernel.t option
+(** The precomputed kernel behind a {!physical} model, when there is
+    one — the enumerators use it for incremental O(words) feasibility;
+    [None] for declared and naive models. *)
 
 val declared :
   n_links:int ->

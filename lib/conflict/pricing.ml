@@ -29,24 +29,69 @@ let max_weight_independent ?(eps = 1e-9) model ~weights ~universe =
     let best_value = ref 0.0 in
     let best_assignment = ref [] in
     (* [assignment] is reversed; [value] its current worth. *)
-    let rec branch i assignment value =
-      if value > !best_value +. eps then begin
-        best_value := value;
-        best_assignment := List.rev assignment
-      end;
-      if i < n && value +. suffix_potential.(i) > !best_value +. eps then begin
-        let l, w, _ = candidates.(i) in
-        (* Include link i at each alone rate (fastest first). *)
-        List.iter
-          (fun r ->
-            let extended = (l, r) :: assignment in
-            if Model.feasible model (List.rev extended) then
-              branch (i + 1) extended (value +. (w *. mbps r)))
-          (Model.alone_rates model l);
-        (* Or skip it. *)
-        branch (i + 1) assignment value
-      end
-    in
-    branch 0 [] 0.0;
+    (match Model.kernel model with
+     | Some k ->
+       (* Incremental search: one [Inc.add] per candidate link serves
+          every rate branch (interference is rate-independent).  A
+          chosen-rate vector over the current set is feasible iff the
+          set is independent and each chosen rate is no faster than the
+          member's current maximum — exactly what the naive path's
+          per-rate [Model.feasible] calls establish, so both paths
+          explore identical branches in identical order. *)
+       let st = Kernel.Inc.start k in
+       let chosen = Array.make n 0 in
+       let rec branch i assignment value =
+         if value > !best_value +. eps then begin
+           best_value := value;
+           best_assignment := List.rev assignment
+         end;
+         if i < n && value +. suffix_potential.(i) > !best_value +. eps then begin
+           let l, w, _ = candidates.(i) in
+           (if Kernel.Inc.add st l then begin
+              let sz = Kernel.Inc.size st in
+              let members_still_support_chosen =
+                let ok = ref true in
+                for p = 0 to sz - 2 do
+                  if chosen.(p) < Kernel.Inc.max_rate st p then ok := false
+                done;
+                !ok
+              in
+              if members_still_support_chosen then begin
+                let rmin = Kernel.Inc.last_max_rate st in
+                List.iter
+                  (fun r ->
+                    if r >= rmin then begin
+                      chosen.(sz - 1) <- r;
+                      branch (i + 1) ((l, r) :: assignment) (value +. (w *. mbps r))
+                    end)
+                  (Model.alone_rates model l)
+              end;
+              Kernel.Inc.undo st
+            end);
+           (* Or skip it. *)
+           branch (i + 1) assignment value
+         end
+       in
+       branch 0 [] 0.0
+     | None ->
+       let rec branch i assignment value =
+         if value > !best_value +. eps then begin
+           best_value := value;
+           best_assignment := List.rev assignment
+         end;
+         if i < n && value +. suffix_potential.(i) > !best_value +. eps then begin
+           let l, w, _ = candidates.(i) in
+           (* Include link i at each alone rate (fastest first). *)
+           List.iter
+             (fun r ->
+               let extended = (l, r) :: assignment in
+               if Model.feasible model (List.rev extended) then
+                 branch (i + 1) extended (value +. (w *. mbps r)))
+             (Model.alone_rates model l);
+           (* Or skip it. *)
+           branch (i + 1) assignment value
+         end
+       in
+       branch 0 [] 0.0);
     if !best_assignment = [] then None else Some (!best_assignment, !best_value)
   end

@@ -12,6 +12,10 @@ let m_pricing_rounds = Telemetry.counter "colgen.pricing_rounds"
 
 let m_lp_resolves = Telemetry.counter "colgen.lp_resolves"
 
+let m_warm_rounds = Telemetry.counter "colgen.warm_rounds"
+
+let warm_start = ref true
+
 type result = {
   bandwidth_mbps : float;
   schedule : Schedule.t;
@@ -28,57 +32,79 @@ let convergence_eps = 1e-7
 let column_of_assignment tbl assignment =
   { assignment; mbps = List.map (fun (l, r) -> (l, Rate.mbps tbl r)) assignment }
 
-(* Solve the restricted master over the current column pool.  Returns
-   the solution plus the duals needed for pricing: [sigma] for the
-   total-share row and one weight per link (the negated Ge-row dual). *)
-let solve_master ~columns ~universe ~loads ~path =
-  Telemetry.incr m_lp_resolves;
+(* Per-column supply over the universe as a dense array, so master rows
+   index it directly instead of walking association lists. *)
+let dense_supply ~uindex ~nu (c : column) =
+  let d = Array.make nu 0.0 in
+  List.iter (fun (l, m) -> d.(Hashtbl.find uindex l) <- d.(Hashtbl.find uindex l) +. m) c.mbps;
+  d
+
+(* Build the restricted master over [columns]: row 0 is the total-share
+   budget, row 1+i covers universe link [i] (with big-M shortfall).
+   Returns the LP plus the variable handles needed to read a solution. *)
+let build_master ~columns ~u ~uindex ~loads ~path =
+  let nu = Array.length u in
   let lp = Problem.create ~name:"cg-master" Types.Maximize in
   let f = Problem.add_var lp ~obj:1.0 "f" in
   let lambda =
     List.mapi (fun i (_ : column) -> Problem.add_var lp (Printf.sprintf "lambda%d" i)) columns
   in
   let shortfall =
-    List.map (fun l -> (l, Problem.add_var lp ~obj:(-.big_m) (Printf.sprintf "s%d" l))) universe
+    Array.mapi (fun _ l -> Problem.add_var lp ~obj:(-.big_m) (Printf.sprintf "s%d" l)) u
   in
-  (* Row 0: total share. *)
+  let supplies = List.map (fun c -> dense_supply ~uindex ~nu c) columns in
   Problem.add_constraint lp ~name:"total-share" (List.map (fun v -> (v, 1.0)) lambda) Types.Le 1.0;
-  (* Rows 1..: per-link coverage with shortfall relaxation. *)
-  List.iter
-    (fun l ->
+  let on_path = Array.map (fun l -> List.mem l path) u in
+  Array.iteri
+    (fun i l ->
       let supply =
-        List.filter_map
-          (fun (v, c) ->
-            match List.assoc_opt l c.mbps with Some m -> Some (v, m) | None -> None)
-          (List.combine lambda columns)
+        List.concat
+          (List.map2 (fun v d -> if d.(i) <> 0.0 then [ (v, d.(i)) ] else []) lambda supplies)
       in
-      let f_term = if List.mem l path then [ (f, -1.0) ] else [] in
+      let f_term = if on_path.(i) then [ (f, -1.0) ] else [] in
       Problem.add_constraint lp
         ~name:(Printf.sprintf "cover%d" l)
-        (((List.assoc l shortfall, 1.0) :: supply) @ f_term)
-        Types.Ge (List.assoc l loads))
-    universe;
+        (((shortfall.(i), 1.0) :: supply) @ f_term)
+        Types.Ge loads.(i))
+    u;
+  (lp, f, lambda, shortfall)
+
+(* Read the pricing inputs out of a master solution: [sigma] for the
+   total-share row and one weight per universe index (the negated
+   Ge-row dual). *)
+let read_duals (s : Problem.solution) ~nu =
+  let sigma = s.Problem.row_duals.(0) in
+  let weights = Array.init nu (fun i -> -.s.Problem.row_duals.(i + 1)) in
+  (sigma, weights)
+
+let total_shortfall (s : Problem.solution) shortfall =
+  Array.fold_left (fun acc v -> acc +. s.Problem.values v) 0.0 shortfall
+
+(* Solve the restricted master from scratch (cold path — the reference
+   strategy, also used by the benchmarks as the warm-start baseline). *)
+let solve_master ~columns ~u ~uindex ~loads ~path =
+  Telemetry.incr m_lp_resolves;
+  let lp, f, lambda, shortfall = build_master ~columns ~u ~uindex ~loads ~path in
   match Problem.solve lp with
   | Problem.Infeasible | Problem.Unbounded ->
     failwith "Column_gen: master must be feasible and bounded"
   | Problem.Solution s ->
-    let sigma = s.Problem.row_duals.(0) in
-    let weights =
-      List.mapi (fun i l -> (l, -.s.Problem.row_duals.(i + 1))) universe
-    in
+    let sigma, weights = read_duals s ~nu:(Array.length u) in
     let shares = List.map (fun v -> s.Problem.values v) lambda in
-    let total_shortfall =
-      List.fold_left (fun acc (_, v) -> acc +. s.Problem.values v) 0.0 shortfall
-    in
-    (s.Problem.values f, sigma, weights, shares, total_shortfall)
+    (s.Problem.values f, sigma, weights, shares, total_shortfall s shortfall)
 
-let available ?(max_iterations = 1000) model ~background ~path =
+let available ?(max_iterations = 1000) ?warm model ~background ~path =
   if path = [] then invalid_arg "Column_gen: empty path";
   if List.length (List.sort_uniq compare path) <> List.length path then
     invalid_arg "Column_gen: repeated link in path";
+  let warm = match warm with Some w -> w | None -> !warm_start in
   let tbl = Model.rates model in
   let universe = List.sort_uniq compare (Flow.union_links background @ path) in
-  let loads = List.map (fun l -> (l, Flow.load_on background l)) universe in
+  let u = Array.of_list universe in
+  let nu = Array.length u in
+  let uindex = Hashtbl.create (2 * nu) in
+  Array.iteri (fun i l -> Hashtbl.replace uindex l i) u;
+  let loads = Array.map (fun l -> Flow.load_on background l) u in
   (* A demanded link with no rate at all: unschedulable (or a dead link
      on the new path: zero bandwidth, handled by the LP shortfall). *)
   let seed =
@@ -89,51 +115,97 @@ let available ?(max_iterations = 1000) model ~background ~path =
         | None -> None)
       universe
   in
-  let pool = ref seed in
   Telemetry.add m_columns (List.length seed);
-  let rec iterate k =
-    if k > max_iterations then failwith "Column_gen: did not converge";
+  let price weights =
     Telemetry.incr m_pricing_rounds;
-    let f, sigma, weights, shares, shortfall = solve_master ~columns:!pool ~universe ~loads ~path in
-    let improving =
-      match
-        Pricing.max_weight_independent model ~weights:(fun l -> List.assoc l weights) ~universe
-      with
-      | Some (assignment, value) when value > sigma +. convergence_eps ->
-        Some (column_of_assignment tbl assignment)
-      | Some _ | None -> None
-    in
-    match improving with
-    | Some column ->
-      pool := !pool @ [ column ];
-      Telemetry.incr m_columns;
-      iterate (k + 1)
-    | None ->
-      (* Converged: the master optimum is the true Equation-6 optimum. *)
-      if shortfall > 1e-6 then None
-      else begin
-        let slots =
-          List.map2
-            (fun (c : column) share ->
-              {
-                Schedule.links = List.map fst c.assignment;
-                rates = List.map snd c.assignment;
-                share = Float.max share 0.0;
-              })
-            !pool shares
-        in
-        Some
-          {
-            bandwidth_mbps = f;
-            schedule = Schedule.make slots;
-            columns_generated = List.length !pool;
-            iterations = k;
-          }
-      end
+    Pricing.max_weight_independent model
+      ~weights:(fun l -> weights.(Hashtbl.find uindex l))
+      ~universe
   in
-  Wsn_telemetry.Span.with_span "colgen.available" (fun () -> iterate 1)
+  let finish ~f ~shares ~shortfall ~pool ~iterations =
+    if shortfall > 1e-6 then None
+    else begin
+      let slots =
+        List.map2
+          (fun (c : column) share ->
+            {
+              Schedule.links = List.map fst c.assignment;
+              rates = List.map snd c.assignment;
+              share = Float.max share 0.0;
+            })
+          pool shares
+      in
+      Some
+        {
+          bandwidth_mbps = f;
+          schedule = Schedule.make slots;
+          columns_generated = List.length pool;
+          iterations;
+        }
+    end
+  in
+  let run () =
+    if warm then begin
+      (* Warm path: keep one master tableau alive, append the single
+         improving column each round and resume the simplex from the
+         previous (still feasible) basis — phase 2 only, no rebuild. *)
+      let lp, f, lambda_seed, shortfall = build_master ~columns:seed ~u ~uindex ~loads ~path in
+      Telemetry.incr m_lp_resolves;
+      match Problem.solve_warm lp with
+      | (Problem.Infeasible | Problem.Unbounded), _ | _, None ->
+        failwith "Column_gen: master must be feasible and bounded"
+      | Problem.Solution s0, Some w ->
+        (* Pool and handles are kept reversed; reversed once at reads. *)
+        let pool_rev = ref (List.rev seed) in
+        let lambda_rev = ref (List.rev lambda_seed) in
+        let rec iterate k (s : Problem.solution) =
+          if k > max_iterations then failwith "Column_gen: did not converge";
+          Telemetry.incr m_warm_rounds;
+          let sigma, weights = read_duals s ~nu in
+          match price weights with
+          | Some (assignment, value) when value > sigma +. convergence_eps ->
+            let column = column_of_assignment tbl assignment in
+            let terms =
+              (0, 1.0) :: List.map (fun (l, m) -> (1 + Hashtbl.find uindex l, m)) column.mbps
+            in
+            let v = Problem.add_column w terms in
+            pool_rev := column :: !pool_rev;
+            lambda_rev := v :: !lambda_rev;
+            Telemetry.incr m_columns;
+            Telemetry.incr m_lp_resolves;
+            (match Problem.resolve w with
+             | Problem.Infeasible | Problem.Unbounded ->
+               failwith "Column_gen: master must be feasible and bounded"
+             | Problem.Solution s' -> iterate (k + 1) s')
+          | Some _ | None ->
+            let shares = List.rev_map (fun v -> s.Problem.values v) !lambda_rev in
+            finish ~f:(s.Problem.values f) ~shares
+              ~shortfall:(total_shortfall s shortfall)
+              ~pool:(List.rev !pool_rev) ~iterations:k
+        in
+        iterate 1 s0
+    end
+    else begin
+      let pool_rev = ref (List.rev seed) in
+      let rec iterate k =
+        if k > max_iterations then failwith "Column_gen: did not converge";
+        let pool = List.rev !pool_rev in
+        let f, sigma, weights, shares, shortfall = solve_master ~columns:pool ~u ~uindex ~loads ~path in
+        match price weights with
+        | Some (assignment, value) when value > sigma +. convergence_eps ->
+          pool_rev := column_of_assignment tbl assignment :: !pool_rev;
+          Telemetry.incr m_columns;
+          iterate (k + 1)
+        | Some _ | None ->
+          (* Converged: the master optimum is the true Equation-6 optimum. *)
+          finish ~f ~shares ~shortfall ~pool ~iterations:k
+      in
+      iterate 1
+    end
+  in
+  Wsn_telemetry.Span.with_span "colgen.available" run
 
-let path_capacity ?max_iterations model ~path =
-  match available ?max_iterations model ~background:[] ~path with
+let path_capacity ?max_iterations ?warm model ~path =
+  match available ?max_iterations ?warm model ~background:[] ~path with
   | Some r -> r
   | None -> failwith "Column_gen.path_capacity: no background cannot be infeasible"

@@ -20,17 +20,29 @@ type result = {
   iterations : int;  (** Master solves until convergence. *)
 }
 
+val warm_start : bool ref
+(** Default master strategy (initially [true]).  Warm: one master
+    tableau is kept alive across pricing rounds; each round appends the
+    single improving column ({!Wsn_lp.Problem.add_column}) and resumes
+    the simplex from the previous basis — phase 2 only, no rebuild.
+    Cold: every round rebuilds and re-solves the master from scratch
+    (the reference strategy, and the benchmark baseline).  Both reach
+    the same optimum. *)
+
 val available :
   ?max_iterations:int ->
+  ?warm:bool ->
   Wsn_conflict.Model.t ->
   background:Flow.t list ->
   path:int list ->
   result option
 (** Column-generation counterpart of {!Path_bandwidth.available}; same
-    contract ([None] = background infeasible).
+    contract ([None] = background infeasible).  [warm] overrides
+    {!warm_start} for this call.
     @raise Invalid_argument on an empty or repeated-link path.
     @raise Failure if [max_iterations] (default 1000) master solves do
     not converge (indicates a pricing bug, not a hard instance). *)
 
-val path_capacity : ?max_iterations:int -> Wsn_conflict.Model.t -> path:int list -> result
+val path_capacity :
+  ?max_iterations:int -> ?warm:bool -> Wsn_conflict.Model.t -> path:int list -> result
 (** No-background convenience, like {!Path_bandwidth.path_capacity}. *)

@@ -67,7 +67,8 @@ type encoding =
   | Shifted of { col : int; lo : float }
   | Split of { pos : int; neg : int }
 
-let solve t =
+(* Standard-form expansion shared by the one-shot and warm solvers. *)
+let build t =
   let dcls = decls t in
   (* Assign standard-form columns. *)
   let next_col = ref 0 in
@@ -154,18 +155,70 @@ let solve t =
           c.(pos) <- c.(pos) +. (flip *. d.obj);
           c.(neg) <- c.(neg) -. (flip *. d.obj))
     dcls;
-  match Tableau.solve ~a ~b ~c ~senses with
+  (a, b, c, senses, enc, flip, !const_term)
+
+(* A solved problem kept warm for column appends: extra variables are
+   handed ids continuing from the declaration count at solve time and
+   resolved through the tableau's appended-column x indices. *)
+type warm = {
+  wstate : Tableau.state;
+  wflip : float;
+  wconst : float;
+  wenc : encoding array;
+  wn0 : int;  (* declared variables at solve time *)
+  wn_user : int;  (* user constraint rows (tableau rows [0, wn_user)) *)
+  mutable wextra : (var * int) list;  (* appended var ↦ x index, reversed *)
+}
+
+let outcome_of_result ~n_user ~enc ~flip ~const_term ~extra = function
   | Tableau.Unbounded -> Unbounded
   | Tableau.Infeasible -> Infeasible
   | Tableau.Optimal { x; objective; duals } ->
-    let row_duals = Array.init (List.length (constraints t)) (fun i -> duals.(i)) in
+    let row_duals = Array.init n_user (fun i -> duals.(i)) in
     let value v =
-      match enc.(v) with
-      | Shifted { col; lo } -> lo +. x.(col)
-      | Split { pos; neg } -> x.(pos) -. x.(neg)
+      if v < Array.length enc then
+        match enc.(v) with
+        | Shifted { col; lo } -> lo +. x.(col)
+        | Split { pos; neg } -> x.(pos) -. x.(neg)
+      else
+        match List.assoc_opt v extra with
+        | Some xi -> x.(xi)
+        | None -> invalid_arg "Problem: unknown variable"
     in
-    let obj = (flip *. objective) +. !const_term in
+    let obj = (flip *. objective) +. const_term in
     Solution { objective = obj; values = value; row_duals }
+
+let solve t =
+  let a, b, c, senses, enc, flip, const_term = build t in
+  outcome_of_result ~n_user:t.nconstrs ~enc ~flip ~const_term ~extra:[]
+    (Tableau.solve ~a ~b ~c ~senses)
+
+let solve_warm t =
+  let a, b, c, senses, enc, flip, const_term = build t in
+  let result, state = Tableau.solve_open ~a ~b ~c ~senses in
+  let outcome = outcome_of_result ~n_user:t.nconstrs ~enc ~flip ~const_term ~extra:[] result in
+  let warm =
+    Option.map
+      (fun st ->
+        { wstate = st; wflip = flip; wconst = const_term; wenc = enc; wn0 = t.nvars;
+          wn_user = t.nconstrs; wextra = [] })
+      state
+  in
+  (outcome, warm)
+
+let add_column w ?(obj = 0.0) terms =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= w.wn_user then invalid_arg "Problem.add_column: unknown constraint")
+    terms;
+  let xi = Tableau.add_column w.wstate ~coeffs:terms ~cost:(w.wflip *. obj) in
+  let v = w.wn0 + List.length w.wextra in
+  w.wextra <- (v, xi) :: w.wextra;
+  v
+
+let resolve w =
+  outcome_of_result ~n_user:w.wn_user ~enc:w.wenc ~flip:w.wflip ~const_term:w.wconst
+    ~extra:w.wextra (Tableau.reoptimize w.wstate)
 
 let value_exn outcome v =
   match outcome with

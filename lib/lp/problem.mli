@@ -60,6 +60,30 @@ type outcome =
 val solve : t -> outcome
 (** [solve t] runs the two-phase simplex on the accumulated problem. *)
 
+type warm
+(** A solved problem kept warm so column generation can append one
+    variable at a time without rebuilding or re-solving from scratch
+    (see {!Tableau.add_column}). *)
+
+val solve_warm : t -> outcome * warm option
+(** As {!solve}, additionally returning a warm handle when the problem
+    is optimal ([None] otherwise).  Mutating [t] afterwards does not
+    affect the handle. *)
+
+val add_column : warm -> ?obj:float -> (int * float) list -> var
+(** [add_column w terms] appends a fresh variable with bounds [0 ≤ x],
+    objective coefficient [obj] (default [0.], in the caller's
+    direction) and coefficient [c] in the [i]-th {!add_constraint} row
+    for each [(i, c)] of [terms].  The returned handle is valid for
+    {!resolve} outcomes of [w] only.
+    @raise Invalid_argument on an unknown constraint index. *)
+
+val resolve : warm -> outcome
+(** Re-optimise from the previous basis (phase 2 only): the basis stays
+    primal feasible across {!add_column}, so this is much cheaper than
+    a fresh {!solve}.  Same optimum as rebuilding, though a degenerate
+    tie may pick a different optimal basis. *)
+
 val value_exn : outcome -> var -> float
 (** [value_exn o v] extracts a variable value.
     @raise Failure if [o] is not [Solution _]. *)

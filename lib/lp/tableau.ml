@@ -10,6 +10,10 @@ let m_phase1_iters = Telemetry.counter "lp.phase1_iters"
 
 let m_phase2_iters = Telemetry.counter "lp.phase2_iters"
 
+let m_warm_resolves = Telemetry.counter "lp.warm_resolves"
+
+let m_columns_added = Telemetry.counter "lp.columns_added"
+
 type result =
   | Optimal of { x : Vector.t; objective : float; duals : Vector.t }
   | Unbounded
@@ -18,21 +22,28 @@ type result =
 let eps = 1e-9
 
 (* Internal mutable tableau.  [t] has [m] constraint rows plus one
-   objective row; column [ncols] holds the right-hand side.  [basis.(i)]
-   is the column basic in row [i].  The objective row encodes
-   [z - c·x = 0] (entries [-c_j], value cell = current objective of a
-   maximisation), so a column may enter while its entry is below -eps. *)
+   objective row; the right-hand side lives at the fixed column [cap]
+   (the allocated width), so logical columns can grow to [cap] without
+   moving it — columns [ncols .. cap-1] are spare and identically zero,
+   which row operations preserve.  [basis.(i)] is the column basic in
+   row [i].  The objective row encodes [z - c·x = 0] (entries [-c_j],
+   value cell = current objective of a maximisation), so a column may
+   enter while its entry is below -eps. *)
 type tab = {
-  t : Matrix.t;
+  mutable t : Matrix.t;
   m : int;
-  ncols : int;
+  mutable ncols : int;  (* logical columns *)
+  mutable cap : int;  (* allocated columns; rhs lives at column [cap] *)
   basis : int array;
   n_struct : int;  (* structural columns: originals plus slack/surplus *)
+  n_art : int;  (* artificials occupy [n_struct, n_struct + n_art) *)
 }
 
-let rhs tab i = Matrix.get tab.t i tab.ncols
+let rhs tab i = Matrix.get tab.t i tab.cap
 
 let reduced_cost tab j = Matrix.get tab.t tab.m j
+
+let is_artificial tab j = j >= tab.n_struct && j < tab.n_struct + tab.n_art
 
 (* Eliminate basic columns from the objective row so it holds genuine
    reduced costs for the current basis. *)
@@ -120,21 +131,50 @@ let optimise tab ~allowed ~iters =
   in
   loop 0
 
-let solve ~a ~b ~c ~senses =
+(* A solved tableau kept warm for column generation: appended columns
+   land after the artificials, and the per-row signature columns (slack
+   for Le, artificial for Ge/Eq; each entered the initial tableau as
+   +e_i) hold B⁻¹e_i under the current basis, which is what pricing a
+   new column into the tableau needs. *)
+type state = {
+  tab : tab;
+  n : int;  (* caller's original columns: x indices [0, n) *)
+  first_appended : int;
+  flip : float array;
+  sig_col : int array;
+  mutable appended : int;
+}
+
+let extract st =
+  let tab = st.tab in
+  let x = Vector.zeros (st.n + st.appended) in
+  for i = 0 to tab.m - 1 do
+    let j = tab.basis.(i) in
+    if j < st.n then x.(j) <- rhs tab i
+    else if j >= st.first_appended then x.(st.n + (j - st.first_appended)) <- rhs tab i
+  done;
+  let duals = Vector.init tab.m (fun i -> st.flip.(i) *. Matrix.get tab.t tab.m st.sig_col.(i)) in
+  Optimal { x; objective = Matrix.get tab.t tab.m tab.cap; duals }
+
+let solve_raw ~a ~b ~c ~senses =
   let m = Matrix.rows a in
   let n = Matrix.cols a in
   if Vector.dim b <> m then invalid_arg "Tableau.solve: b dimension mismatch";
   if Vector.dim c <> n then invalid_arg "Tableau.solve: c dimension mismatch";
   if Array.length senses <> m then invalid_arg "Tableau.solve: senses dimension mismatch";
-  (* Normalise rows to non-negative right-hand sides. *)
+  (* Normalise rows to non-negative right-hand sides.  A [Ge] row with a
+     zero right-hand side is also flipped (ax ≥ 0 ⟺ -ax ≤ 0): as a [Le]
+     row its slack starts basic and feasible, so it needs no artificial —
+     in the bandwidth masters most cover rows are exactly such zero-load
+     rows, and this keeps them out of phase 1 entirely. *)
   let rows = Array.init m (fun i -> Matrix.row a i) in
   let rhs0 = Array.init m (fun i -> b.(i)) in
   let senses = Array.copy senses in
   let flip = Array.make m 1.0 in
   for i = 0 to m - 1 do
-    if rhs0.(i) < 0.0 then begin
+    if rhs0.(i) < 0.0 || (rhs0.(i) = 0.0 && senses.(i) = Types.Ge) then begin
       rows.(i) <- Vector.scale (-1.0) rows.(i);
-      rhs0.(i) <- -.rhs0.(i);
+      rhs0.(i) <- (if rhs0.(i) = 0.0 then 0.0 else -.rhs0.(i));
       flip.(i) <- -1.0;
       senses.(i) <-
         (match senses.(i) with Types.Le -> Types.Ge | Types.Ge -> Types.Le | Types.Eq -> Types.Eq)
@@ -178,25 +218,24 @@ let solve ~a ~b ~c ~senses =
        sig_col.(i) <- !art_cursor;
        incr art_cursor)
   done;
-  let tab = { t; m; ncols; basis; n_struct } in
-  let is_artificial j = j >= n_struct in
+  let tab = { t; m; ncols; cap = ncols; basis; n_struct; n_art } in
   (* Phase 1: minimise the sum of artificials. *)
   if n_art > 0 then begin
     for j = n_struct to ncols - 1 do
       Matrix.set t m j 1.0
     done;
     price_out tab;
-    (match optimise tab ~allowed:(fun j -> j < ncols) ~iters:m_phase1_iters with
+    (match optimise tab ~allowed:(fun j -> j < tab.ncols) ~iters:m_phase1_iters with
      | Unbounded_phase -> failwith "Tableau.solve: phase 1 unbounded (impossible)"
      | Finished -> ());
-    let phase1_value = -.Matrix.get t m ncols in
+    let phase1_value = -.rhs tab m in
     if phase1_value > 1e-7 then raise Exit
   end;
   (* Drive any artificial still basic (at zero level) out of the basis
      when a structural pivot exists; otherwise the row is redundant and
      the artificial stays pinned at zero. *)
   for i = 0 to m - 1 do
-    if is_artificial tab.basis.(i) then begin
+    if is_artificial tab tab.basis.(i) then begin
       let found = ref None in
       for j = 0 to n_struct - 1 do
         if !found = None && Float.abs (Matrix.get t i j) > eps then found := Some j
@@ -206,26 +245,72 @@ let solve ~a ~b ~c ~senses =
   done;
   (* Phase 2: reset the objective row to the real costs (negated, per
      the z-row convention) and optimise. *)
-  for j = 0 to ncols do
+  for j = 0 to tab.cap do
     Matrix.set t m j 0.0
   done;
   for j = 0 to n - 1 do
     Matrix.set t m j (-.c.(j))
   done;
   price_out tab;
-  match optimise tab ~allowed:(fun j -> not (is_artificial j)) ~iters:m_phase2_iters with
-  | Unbounded_phase -> Unbounded
-  | Finished ->
-    let x = Vector.zeros n in
-    for i = 0 to m - 1 do
-      if tab.basis.(i) < n then x.(tab.basis.(i)) <- rhs tab i
-    done;
-    let duals =
-      Vector.init m (fun i -> flip.(i) *. Matrix.get t m sig_col.(i))
-    in
-    Optimal { x; objective = Matrix.get t m ncols; duals }
+  let st = { tab; n; first_appended = n_struct + n_art; flip; sig_col; appended = 0 } in
+  match optimise tab ~allowed:(fun j -> not (is_artificial tab j)) ~iters:m_phase2_iters with
+  | Unbounded_phase -> (Unbounded, None)
+  | Finished -> (extract st, Some st)
 
-let solve ~a ~b ~c ~senses =
+let solve_open ~a ~b ~c ~senses =
   Wsn_telemetry.Span.with_span "lp.solve" (fun () ->
       Telemetry.incr m_solves;
-      try solve ~a ~b ~c ~senses with Exit -> Infeasible)
+      try solve_raw ~a ~b ~c ~senses with Exit -> (Infeasible, None))
+
+let solve ~a ~b ~c ~senses = fst (solve_open ~a ~b ~c ~senses)
+
+(* Append one structural column (cost in the maximisation form;
+   [coeffs] in original row order and sign, the stored [flip] is
+   re-applied here).  The tableau representation under the current
+   basis is B⁻¹a' = Σᵢ a'ᵢ · (column of sig_col(i)), and its objective
+   entry y·a' − cost, so the append costs O(m²) with no refactorisation.
+   The basis — untouched — stays primal feasible: a {!reoptimize} call
+   needs phase 2 only. *)
+let add_column st ~coeffs ~cost =
+  let tab = st.tab in
+  if tab.ncols >= tab.cap then begin
+    let cap' = (2 * tab.cap) + 8 in
+    let t' = Matrix.zeros (tab.m + 1) (cap' + 1) in
+    for i = 0 to tab.m do
+      for j = 0 to tab.ncols - 1 do
+        Matrix.set t' i j (Matrix.get tab.t i j)
+      done;
+      Matrix.set t' i cap' (Matrix.get tab.t i tab.cap)
+    done;
+    tab.t <- t';
+    tab.cap <- cap'
+  end;
+  let j = tab.ncols in
+  tab.ncols <- j + 1;
+  let a' = Array.make tab.m 0.0 in
+  List.iter
+    (fun (i, v) ->
+      if i < 0 || i >= tab.m then invalid_arg "Tableau.add_column: row out of range";
+      a'.(i) <- a'.(i) +. (st.flip.(i) *. v))
+    coeffs;
+  for i = 0 to tab.m - 1 do
+    if a'.(i) <> 0.0 then begin
+      let s = st.sig_col.(i) in
+      for r = 0 to tab.m do
+        Matrix.set tab.t r j (Matrix.get tab.t r j +. (a'.(i) *. Matrix.get tab.t r s))
+      done
+    end
+  done;
+  Matrix.set tab.t tab.m j (Matrix.get tab.t tab.m j -. cost);
+  Telemetry.incr m_columns_added;
+  let xi = st.n + st.appended in
+  st.appended <- st.appended + 1;
+  xi
+
+let reoptimize st =
+  Wsn_telemetry.Span.with_span "lp.resolve" (fun () ->
+      Telemetry.incr m_warm_resolves;
+      let tab = st.tab in
+      match optimise tab ~allowed:(fun j -> not (is_artificial tab j)) ~iters:m_phase2_iters with
+      | Unbounded_phase -> Unbounded
+      | Finished -> extract st)

@@ -37,3 +37,37 @@ val solve :
     [a]/[b]/[senses] and [x ≥ 0].
     @raise Invalid_argument on dimension mismatches.
     @raise Failure if the iteration cap is exceeded (indicates a bug). *)
+
+(** {1 Warm-started column generation}
+
+    Column generation re-solves the same master many times, each time
+    with one extra column.  [solve_open] keeps the solved tableau;
+    [add_column] prices a single new column into it (O(m²), no
+    refactorisation — the per-row signature columns hold B⁻¹e_i under
+    the current basis); [reoptimize] resumes the simplex from the
+    previous basis, which stays primal feasible across appends, so only
+    phase 2 runs. *)
+
+type state
+(** A solved tableau retained for incremental column appends. *)
+
+val solve_open :
+  a:Wsn_linalg.Matrix.t ->
+  b:Wsn_linalg.Vector.t ->
+  c:Wsn_linalg.Vector.t ->
+  senses:Types.sense array ->
+  result * state option
+(** As {!solve}, additionally returning the warm state when the problem
+    is optimal ([None] on [Infeasible]/[Unbounded]). *)
+
+val add_column : state -> coeffs:(int * float) list -> cost:float -> int
+(** [add_column st ~coeffs ~cost] appends a non-negative structural
+    column with constraint coefficients [coeffs] (sparse, in original
+    row order and sign) and objective coefficient [cost], returning its
+    index into the [x] vector of subsequent {!reoptimize} results
+    (appended columns follow the original [n]).
+    @raise Invalid_argument on a row index out of range. *)
+
+val reoptimize : state -> result
+(** Re-run phase 2 from the current basis.  [x] in the result has
+    [n + appended] entries; [duals] follow the {!solve} convention. *)

@@ -1,3 +1,9 @@
+(* Raw SINR-under-interference evaluations: the unit of work the
+   conflict kernel exists to avoid.  One bump per [best_rate_under]
+   call, i.e. per link per concurrent-set validation in the naive
+   model. *)
+let m_sinr_evals = Wsn_telemetry.Registry.counter "phy.sinr_evals"
+
 type t = {
   rates : Rate.table;
   propagation : Propagation.t;
@@ -59,6 +65,7 @@ let best_rate_alone t d =
       signal >= t.sensitivities.(r))
 
 let best_rate_under t ~signal_distance ~interferer_distances =
+  Wsn_telemetry.Registry.incr m_sinr_evals;
   let signal = received_power t signal_distance in
   let ratio = sinr t ~signal_distance ~interferer_distances in
   Rate.best_supported t.rates ~snr:ratio ~received_over_sensitivity:(fun r ->

@@ -150,3 +150,51 @@ let suite =
     Alcotest.test_case "cg validation" `Quick test_cg_validation;
     Alcotest.test_case "E14 smoke" `Slow test_e14_smoke;
   ]
+
+(* --- warm-started master vs. cold rebuilds --------------------------- *)
+
+(* The warm master (one tableau kept across pricing rounds, single
+   column appended, phase-2 resolve from the previous basis) must reach
+   the same Equation-6 optimum as rebuilding the master from scratch
+   every round.  Degenerate ties may pick different optimal bases, so
+   the optimum is compared with a tolerance, not the column counts. *)
+let qcheck_warm_equals_cold =
+  QCheck.Test.make ~name:"warm-started colgen = cold colgen" ~count:40
+    QCheck.(pair (int_bound 100_000) (float_range 0.0 12.0))
+    (fun (seed, load) ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let background = if load > 0.5 then [ Flow.make ~path:[ 2 ] ~demand_mbps:load ] else [] in
+      let warm = Column_gen.available ~warm:true model ~background ~path in
+      let cold = Column_gen.available ~warm:false model ~background ~path in
+      match (warm, cold) with
+      | Some w, Some c ->
+        Float.abs (w.Column_gen.bandwidth_mbps -. c.Column_gen.bandwidth_mbps) < 1e-6
+      | None, None -> true
+      | _ -> false)
+
+let test_warm_physical_chain () =
+  (* Same physical 5-node chain as the cold test: identical bandwidth
+     and a valid schedule from the warm path. *)
+  let topo = Builders.chain ~spacing_m:120.0 5 in
+  let model = Model.physical topo in
+  let path =
+    List.init 4 (fun i ->
+        match Wsn_graph.Digraph.find_edge (Wsn_net.Topology.graph topo) ~src:i ~dst:(i + 1) with
+        | Some e -> e.Wsn_graph.Digraph.id
+        | None -> Alcotest.fail "chain edge missing")
+  in
+  let warm = Column_gen.path_capacity ~warm:true model ~path in
+  let cold = Column_gen.path_capacity ~warm:false model ~path in
+  check float_tol "same optimum" cold.Column_gen.bandwidth_mbps warm.Column_gen.bandwidth_mbps;
+  check Alcotest.bool "shares sum to at most 1" true
+    (Schedule.total_share warm.Column_gen.schedule <= 1.0 +. 1e-9)
+
+let warm_suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
+    Alcotest.test_case "warm physical chain" `Slow test_warm_physical_chain;
+  ]
+
+let suite = suite @ warm_suite

@@ -331,3 +331,131 @@ let test_declared_max_vector_witness () =
 let witness_suite = [ Alcotest.test_case "declared max_vector witness" `Quick test_declared_max_vector_witness ]
 
 let suite = suite @ witness_suite
+
+(* --- conflict kernel vs. naive reference ---------------------------- *)
+
+(* The bitset kernel behind [Model.physical] must be behaviourally
+   invisible: on the same topology every query answers exactly as the
+   from-scratch [Model.physical_naive] oracle — including the floats
+   behind the rate decisions, so the comparisons are exact, not
+   tolerant. *)
+
+let random_topology rng ~nodes ~side =
+  let positions =
+    Array.init nodes (fun _ -> Point.make (Pcg32.uniform rng 0.0 side) (Pcg32.uniform rng 0.0 side))
+  in
+  Topology.create positions
+
+let qcheck_kernel_queries_match_naive =
+  QCheck.Test.make ~name:"kernel independent/max_vector/feasible = naive" ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Pcg32.create (Int64.of_int seed) in
+      let topo = random_topology rng ~nodes:8 ~side:450.0 in
+      let fast = Model.physical topo in
+      let naive = Model.physical_naive topo in
+      let n = Topology.n_links topo in
+      if n = 0 then true
+      else begin
+        let ok = ref true in
+        for _ = 1 to 50 do
+          let size = 1 + Pcg32.next_below rng (min n 5) in
+          let set =
+            List.sort_uniq compare (List.init size (fun _ -> Pcg32.next_below rng n))
+          in
+          if Model.independent fast set <> Model.independent naive set then ok := false;
+          if Model.max_vector fast set <> Model.max_vector naive set then ok := false;
+          let assignment =
+            List.map
+              (fun l ->
+                match Model.alone_rates naive l with
+                | [] -> (l, 0)
+                | rs -> (l, List.nth rs (Pcg32.next_below rng (List.length rs))))
+              set
+          in
+          if
+            List.for_all (fun (l, _) -> Model.alone_rates naive l <> []) assignment
+            && Model.feasible fast assignment <> Model.feasible naive assignment
+          then ok := false
+        done;
+        !ok
+      end)
+
+let qcheck_kernel_enumeration_matches_naive =
+  QCheck.Test.make ~name:"kernel enumerate/maximal/columns = naive" ~count:25
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Pcg32.create (Int64.of_int seed) in
+      let topo = random_topology rng ~nodes:7 ~side:450.0 in
+      let fast = Model.physical topo in
+      let naive = Model.physical_naive topo in
+      let universe = List.init (Topology.n_links topo) Fun.id in
+      let catching f = try Ok (f ()) with Failure m -> Error m in
+      let eq_columns a b =
+        match (a, b) with
+        | Ok a, Ok b ->
+          List.length a = List.length b
+          && List.for_all2
+               (fun (x : Independent.column) (y : Independent.column) ->
+                 x.Independent.links = y.Independent.links
+                 && x.Independent.rates = y.Independent.rates
+                 && x.Independent.mbps = y.Independent.mbps)
+               a b
+        | Error a, Error b -> a = b
+        | _ -> false
+      in
+      catching (fun () -> Independent.enumerate_sets ~max_sets:20_000 fast ~universe)
+      = catching (fun () -> Independent.enumerate_sets ~max_sets:20_000 naive ~universe)
+      && catching (fun () -> Independent.maximal_sets ~max_sets:20_000 fast ~universe)
+         = catching (fun () -> Independent.maximal_sets ~max_sets:20_000 naive ~universe)
+      && eq_columns
+           (catching (fun () -> Independent.columns ~max_sets:20_000 fast ~universe))
+           (catching (fun () -> Independent.columns ~max_sets:20_000 naive ~universe))
+      && catching (fun () -> List.sort compare (Clique.maximal_rate_coupled_cliques fast ~universe))
+         = catching (fun () -> List.sort compare (Clique.maximal_rate_coupled_cliques naive ~universe)))
+
+let qcheck_kernel_inc_add_undo =
+  QCheck.Test.make ~name:"Kernel.Inc add/undo agrees with whole-set queries" ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Pcg32.create (Int64.of_int seed) in
+      let topo = random_topology rng ~nodes:8 ~side:450.0 in
+      let model = Model.physical topo in
+      match Model.kernel model with
+      | None -> false
+      | Some k ->
+        let n = Wsn_conflict.Kernel.n_links k in
+        if n = 0 then true
+        else begin
+          let module Inc = Wsn_conflict.Kernel.Inc in
+          let st = Inc.start k in
+          let ok = ref true in
+          (* A random walk of adds and undos; after every step the
+             incremental rates must equal the memoised whole-set answer. *)
+          for _ = 1 to 60 do
+            (if Pcg32.next_below rng 3 = 0 && Inc.size st > 0 then Inc.undo st
+             else
+               let l = Pcg32.next_below rng n in
+               let before = Inc.members st in
+               let added = Inc.add st l in
+               let expect = Wsn_conflict.Kernel.max_vector k (before @ [ l ]) in
+               if added <> (expect <> None && not (List.mem l before)) then ok := false);
+            let members = Inc.members st in
+            match Wsn_conflict.Kernel.max_vector k members with
+            | None -> if members <> [] then ok := false
+            | Some v ->
+              List.iteri
+                (fun p _ -> if v.(p) <> Inc.max_rate st p then ok := false)
+                members
+          done;
+          !ok
+        end)
+
+let kernel_suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_kernel_queries_match_naive;
+    QCheck_alcotest.to_alcotest qcheck_kernel_enumeration_matches_naive;
+    QCheck_alcotest.to_alcotest qcheck_kernel_inc_add_undo;
+  ]
+
+let suite = suite @ kernel_suite
