@@ -1,14 +1,23 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke clean
 
 all:
 	dune build
 
-# Tier-1 verification: full build + every test suite.
+# Tier-1 verification: full build + every test suite (which includes
+# the sweep smoke below; listing it keeps the gate explicit and the
+# second build is a cached no-op).
 check:
 	dune build
 	dune runtest
+	$(MAKE) sweep-smoke
+
+# Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
+# -j2, asserting the exit-code policy, journal contents, warm-cache
+# hits, -j1/-j2 byte-identity and `sweep --table` == `e3`.
+sweep-smoke:
+	dune build @cli-smoke
 
 test: check
 
@@ -22,6 +31,12 @@ bench:
 # seed with a reduced workload; finishes in well under 30 s.
 bench-quick:
 	dune exec bench/main.exe -- --perf-quick --perf-out BENCH_perf_quick.json
+
+# Sweep-engine throughput: cold -j1 vs cold -j4 vs warm, asserting the
+# three results files are byte-identical and the warm arm is >= 95%
+# cache hits; writes jobs/s and the -j4-over-j1 speedup.
+bench-sweep:
+	dune exec bench/main.exe -- --sweep --sweep-out BENCH_sweep.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

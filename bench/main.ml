@@ -45,7 +45,7 @@ let regenerate ~seed () =
   Printf.printf "# E3 aggregate: mean admitted flows (of 8) over %d seeds\n" (List.length seeds);
   List.iter
     (fun (m, mean) -> Printf.printf "%-14s %.2f\n" (Wsn_routing.Metrics.name m) mean)
-    (Wsn_experiments.Fig3.sweep_seeds ~seeds);
+    (Wsn_experiments.Sweep_jobs.sweep_seeds ~seeds ());
   print_newline ();
   Printf.printf "# E4 aggregate: mean |estimator error| (Mbps) pooled over %d seeds\n"
     (List.length seeds);
@@ -401,6 +401,88 @@ let perf ~seed ~quick ~out ~baseline_out ~check () =
       with End_of_file -> close_in ic));
   if !failed then exit 1
 
+(* --- sweep suite: the Wsn_engine pool on the Fig. 3 grid ------------ *)
+
+module Engine = Wsn_engine
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* Three sweep runs of one grid: -j1 cold, -j4 cold (speedup and
+   byte-determinism claims) and -j4 warm over the -j4 cache (cache-hit
+   claim).  Writes BENCH_sweep.json; exits 1 when the cold outputs
+   diverge or the warm run misses the cache. *)
+let sweep_bench ~quick ~out () =
+  let n_seeds = if quick then 3 else 6 in
+  let n_flows = if quick then 3 else 8 in
+  let seeds = List.init n_seeds (fun i -> Int64.of_int (i + 1)) in
+  let specs =
+    Engine.Grid.specs ~kind:"fig3" ~seeds
+      ~metrics:(List.map Wsn_routing.Metrics.name Wsn_routing.Metrics.all)
+      ~n_flows ~demand_mbps:2.0
+  in
+  let jobs = List.length specs in
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wsn-sweep-bench-%d" (Unix.getpid ()))
+  in
+  rm_rf tmp;
+  let arm ~workers ~cache_sub ~results_file =
+    let cfg =
+      {
+        Engine.Sweep.default with
+        Engine.Sweep.workers;
+        retries = 0;
+        cache_dir = Some (Filename.concat tmp cache_sub);
+        out = Some (Filename.concat tmp results_file);
+      }
+    in
+    Engine.Sweep.run cfg ~runner:Wsn_experiments.Sweep_jobs.runner specs
+  in
+  Printf.printf "sweep suite: %d jobs (%d seeds x 3 metrics, %d flows)\n%!" jobs n_seeds n_flows;
+  let _, s1 = arm ~workers:1 ~cache_sub:"c1" ~results_file:"r1.jsonl" in
+  Printf.printf "  -j1 cold: %.2fs (%.1f jobs/s)\n%!" s1.Engine.Sweep.wall_s
+    (float_of_int jobs /. s1.Engine.Sweep.wall_s);
+  let _, s4 = arm ~workers:4 ~cache_sub:"c4" ~results_file:"r4.jsonl" in
+  Printf.printf "  -j4 cold: %.2fs (%.1f jobs/s)\n%!" s4.Engine.Sweep.wall_s
+    (float_of_int jobs /. s4.Engine.Sweep.wall_s);
+  let _, sw = arm ~workers:4 ~cache_sub:"c4" ~results_file:"rw.jsonl" in
+  let read f = In_channel.with_open_bin (Filename.concat tmp f) In_channel.input_all in
+  let identical = String.equal (read "r1.jsonl") (read "r4.jsonl") && String.equal (read "r1.jsonl") (read "rw.jsonl") in
+  let hit_rate = float_of_int sw.Engine.Sweep.cached /. float_of_int (max 1 sw.Engine.Sweep.total) in
+  let speedup = s1.Engine.Sweep.wall_s /. Float.max 1e-9 s4.Engine.Sweep.wall_s in
+  Printf.printf "  -j4 warm: %.2fs, cache hits %d/%d\n" sw.Engine.Sweep.wall_s
+    sw.Engine.Sweep.cached sw.Engine.Sweep.total;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  outputs identical (-j1/-j4/warm): %b\n" identical;
+  Printf.printf "  -j4 over -j1 speedup: %.2fx (on %d core%s)\n" speedup cores
+    (if cores = 1 then "" else "s");
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"outputs_identical\": %b,\n  \"wall_j1_s\": %.6f,\n  \"wall_j4_s\": %.6f,\n\
+    \  \"jobs_per_s_j1\": %.3f,\n  \"jobs_per_s_j4\": %.3f,\n  \"speedup_j4_over_j1\": %.3f,\n\
+    \  \"warm_wall_s\": %.6f,\n  \"warm_cache_hit_rate\": %.4f\n}\n"
+    jobs cores identical s1.Engine.Sweep.wall_s s4.Engine.Sweep.wall_s
+    (float_of_int jobs /. Float.max 1e-9 s1.Engine.Sweep.wall_s)
+    (float_of_int jobs /. Float.max 1e-9 s4.Engine.Sweep.wall_s)
+    speedup sw.Engine.Sweep.wall_s hit_rate;
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  rm_rf tmp;
+  if not identical then begin
+    Printf.eprintf "SWEEP FAIL: -j1, -j4 and warm results are not byte-identical\n";
+    exit 1
+  end;
+  if hit_rate < 0.95 then begin
+    Printf.eprintf "SWEEP FAIL: warm cache-hit rate %.2f < 0.95\n" hit_rate;
+    exit 1
+  end
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -417,6 +499,9 @@ let () =
   let perf_out = ref "BENCH_perf.json" in
   let perf_baseline = ref "" in
   let perf_check = ref "" in
+  let sweep_mode = ref false in
+  let sweep_quick = ref false in
+  let sweep_out = ref "BENCH_sweep.json" in
   Arg.parse
     [
       ( "--seed",
@@ -433,9 +518,16 @@ let () =
       ("--perf-out", Arg.Set_string perf_out, "FILE perf report path (default BENCH_perf.json)");
       ("--write-perf-baseline", Arg.Set_string perf_baseline, "FILE dump fast-arm counters as a flat baseline");
       ("--check-perf", Arg.Set_string perf_check, "FILE fail if fast-arm counters exceed baseline by >10%");
+      ("--sweep", Arg.Set sweep_mode, " run the Wsn_engine sweep suite (-j1 vs -j4 vs warm cache)");
+      ("--sweep-quick", Arg.Unit (fun () -> sweep_mode := true; sweep_quick := true), " sweep suite, reduced grid");
+      ("--sweep-out", Arg.Set_string sweep_out, "FILE sweep report path (default BENCH_sweep.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE]";
+    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE]";
+  if !sweep_mode then begin
+    sweep_bench ~quick:!sweep_quick ~out:!sweep_out ();
+    exit 0
+  end;
   if !perf_mode then begin
     perf ~seed:!seed ~quick:!perf_quick ~out:!perf_out
       ~baseline_out:(if !perf_baseline = "" then None else Some !perf_baseline)

@@ -1,6 +1,27 @@
-(* Command-line driver: regenerate any of the paper's experiments. *)
+(* Command-line driver: regenerate any of the paper's experiments.
+
+   Exit codes are uniform across subcommands: 0 on success, 1 when an
+   experiment or sweep job fails, 2 on usage or I/O errors.  All error
+   prints funnel through [die]. *)
 
 open Cmdliner
+module Registry = Wsn_telemetry.Registry
+module Export = Wsn_telemetry.Export
+module Metrics = Wsn_routing.Metrics
+module Engine = Wsn_engine
+
+(* Raised (never printed directly) so in-flight telemetry can flush
+   before the process exits; [with_telemetry] turns it into the exit
+   code. *)
+exception Die of int * string
+
+let die code fmt = Printf.ksprintf (fun msg -> raise (Die (code, msg))) fmt
+
+let exit_ok = 0
+
+let exit_job_failure = 1
+
+let exit_usage = 2
 
 let seed_arg default =
   let doc = "Random seed (deterministic reproduction)." in
@@ -18,21 +39,38 @@ let telemetry_arg =
   in
   Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
+(* The snapshot must flush even when [run] raises — a failing
+   experiment's counters are exactly the ones worth reading — hence
+   [Fun.protect].  The finally must not exit (it would mask the
+   failure), so a snapshot I/O error is recorded and reported after. *)
 let with_telemetry mode run =
-  (match mode with Some _ -> Wsn_telemetry.Registry.set_enabled true | None -> ());
-  run ();
-  match mode with
+  (match mode with Some _ -> Registry.set_enabled true | None -> ());
+  let snapshot_error = ref None in
+  let flush_telemetry () =
+    match mode with
+    | None -> ()
+    | Some "-" ->
+      print_newline ();
+      Format.printf "%a@." Export.pp_summary (Registry.snapshot ())
+    | Some file -> (
+      try
+        Export.write_file file (Registry.snapshot ());
+        Printf.printf "wrote telemetry snapshot to %s\n" file
+      with Sys_error msg -> snapshot_error := Some msg)
+  in
+  (match Fun.protect ~finally:flush_telemetry run with
+   | () -> ()
+   | exception Die (code, msg) ->
+     Printf.eprintf "wsn_repro: %s\n%!" msg;
+     exit code
+   | exception e ->
+     Printf.eprintf "wsn_repro: experiment failed: %s\n%!" (Printexc.to_string e);
+     exit exit_job_failure);
+  match !snapshot_error with
+  | Some msg ->
+    Printf.eprintf "wsn_repro: cannot write telemetry snapshot: %s\n%!" msg;
+    exit exit_usage
   | None -> ()
-  | Some "-" ->
-    print_newline ();
-    Format.printf "%a@." Wsn_telemetry.Export.pp_summary (Wsn_telemetry.Registry.snapshot ())
-  | Some file -> (
-    try
-      Wsn_telemetry.Export.write_file file (Wsn_telemetry.Registry.snapshot ());
-      Printf.printf "wrote telemetry snapshot to %s\n" file
-    with Sys_error msg ->
-      Printf.eprintf "wsn_repro: cannot write telemetry snapshot: %s\n" msg;
-      exit 1)
 
 let e1_cmd =
   let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scenario1.print ()) in
@@ -101,7 +139,8 @@ let fig2_cmd =
     with_telemetry telem (fun () ->
         if out = "-" then Wsn_experiments.Fig2.print ~seed ()
         else begin
-          Wsn_experiments.Fig2.write ~seed ~path:out ();
+          (try Wsn_experiments.Fig2.write ~seed ~path:out ()
+           with Sys_error msg -> die exit_usage "cannot write %s: %s" out msg);
           Printf.printf "wrote %s (render: neato -n2 -Tpng %s -o fig2.png)\n" out out
         end)
   in
@@ -123,20 +162,155 @@ let ablations_cmd =
     (Cmd.info "ablations" ~doc:"Ablations E8-E11: RTS/CTS, CS range, quantisation, dominance filter")
     Term.(const run $ telemetry_arg $ seed_arg 30L)
 
+(* --- sweep: grid execution on the Wsn_engine pool -------------------- *)
+
+let metric_names_of_string s =
+  if s = "all" then List.map Metrics.name Metrics.all
+  else
+    List.map
+      (fun name ->
+        let name = String.trim name in
+        match List.find_opt (fun m -> Metrics.name m = name) Metrics.all with
+        | Some m -> Metrics.name m
+        | None ->
+          die exit_usage "unknown metric %S (have: all, %s)" name
+            (String.concat ", " (List.map Metrics.name Metrics.all)))
+      (String.split_on_char ',' s)
+
 let sweep_cmd =
-  let doc = "Number of seeds to sweep." in
-  let count = Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc) in
-  let run telem count =
-    with_telemetry telem (fun () ->
-        let seeds = List.init count (fun i -> Int64.of_int (i + 1)) in
-        let means = Wsn_experiments.Fig3.sweep_seeds ~seeds in
-        Printf.printf "# mean admitted flows (of 8) over %d seeds\n" count;
-        List.iter
-          (fun (m, mean) -> Printf.printf "%-14s %.2f\n" (Wsn_routing.Metrics.name m) mean)
-          means)
+  let kind =
+    let doc = "Job kind: fig3, or the fault-injection kinds fail/sleep/crash (tests)." in
+    Arg.(value & opt string "fig3" & info [ "kind" ] ~docv:"KIND" ~doc)
   in
-  Cmd.v (Cmd.info "sweep" ~doc:"Aggregate Fig. 3 over many seeds")
-    Term.(const run $ telemetry_arg $ count)
+  let seeds =
+    let doc = "Seed grid: comma-separated integers and inclusive spans, e.g. 1..100 or 30 or 1..3,7." in
+    Arg.(value & opt string "1..20" & info [ "seeds" ] ~docv:"RANGE" ~doc)
+  in
+  let metrics =
+    let doc = "Routing metrics: 'all' or a comma-separated subset of hop-count, e2eTD, average-e2eD." in
+    Arg.(value & opt string "all" & info [ "metrics" ] ~docv:"NAMES" ~doc)
+  in
+  let n_flows =
+    let doc = "Flows offered per job (the paper uses 8)." in
+    Arg.(value & opt int 8 & info [ "n-flows" ] ~docv:"N" ~doc)
+  in
+  let demand =
+    let doc = "Per-flow demand in Mbit/s (the paper uses 2.0)." in
+    Arg.(value & opt float 2.0 & info [ "demand" ] ~docv:"MBPS" ~doc)
+  in
+  let jobs =
+    let doc = "Worker processes; 0 runs in-process (no crash isolation or timeouts)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let timeout =
+    let doc = "Per-job wall-clock timeout in seconds; 0 disables." in
+    Arg.(value & opt float 300.0 & info [ "timeout" ] ~docv:"SEC" ~doc)
+  in
+  let retries =
+    let doc = "Extra attempts for a failed or timed-out job." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let cache_dir =
+    let doc = "Content-addressed result cache directory." in
+    Arg.(value & opt string Engine.Cache.default_dir & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache.")
+  in
+  let out =
+    let doc = "Write results (one JSON object per job, in grid order) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let journal =
+    let doc = "Run journal path (default: OUT.journal when --out is given)." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ] ~doc:"Resume an interrupted sweep from its journal.")
+  in
+  let retry_failed =
+    Arg.(value & flag & info [ "retry-failed" ] ~doc:"On --resume, re-run jobs the journal recorded as failed.")
+  in
+  let table =
+    let doc = "Print per-seed Fig. 3 tables (byte-identical to e3) instead of the aggregate." in
+    Arg.(value & flag & info [ "table" ] ~doc)
+  in
+  let run telem kind seeds metrics n_flows demand jobs timeout retries cache_dir no_cache out
+      journal resume retry_failed table =
+    with_telemetry telem @@ fun () ->
+    let seeds =
+      match Engine.Grid.parse_range seeds with
+      | Ok s -> s
+      | Error msg -> die exit_usage "%s" msg
+    in
+    let metric_names = metric_names_of_string metrics in
+    let specs =
+      try Engine.Grid.specs ~kind ~seeds ~metrics:metric_names ~n_flows ~demand_mbps:demand
+      with Invalid_argument msg -> die exit_usage "%s" msg
+    in
+    let journal =
+      match (journal, out) with
+      | (Some _ as j), _ -> j
+      | None, Some o -> Some (o ^ ".journal")
+      | None, None -> None
+    in
+    if resume && journal = None then die exit_usage "--resume needs --journal or --out";
+    let cfg =
+      {
+        Engine.Sweep.workers = jobs;
+        timeout_s = (if timeout <= 0.0 then infinity else timeout);
+        retries;
+        cache_dir = (if no_cache then None else Some cache_dir);
+        fingerprint = None;
+        out;
+        journal;
+        resume;
+        retry_failed;
+      }
+    in
+    let results, summary =
+      try Engine.Sweep.run cfg ~runner:Wsn_experiments.Sweep_jobs.runner specs
+      with Sys_error msg -> die exit_usage "%s" msg
+    in
+    let ok_payloads =
+      List.filter_map
+        (fun (r : Engine.Pool.result) ->
+          match r.Engine.Pool.outcome with
+          | Engine.Pool.Done payload -> Some (r.Engine.Pool.spec, payload)
+          | Engine.Pool.Failed _ -> None)
+        results
+    in
+    if table then print_string (Wsn_experiments.Sweep_jobs.table ok_payloads)
+    else if kind = "fig3" && ok_payloads <> [] then begin
+      Printf.printf "# mean admitted flows (of %d) over %d seeds\n" n_flows (List.length seeds);
+      List.iter
+        (fun (m, mean) -> Printf.printf "%-14s %.2f\n" (Metrics.name m) mean)
+        (Wsn_experiments.Sweep_jobs.mean_admitted ok_payloads)
+    end;
+    List.iter
+      (fun (r : Engine.Pool.result) ->
+        match r.Engine.Pool.outcome with
+        | Engine.Pool.Done _ -> ()
+        | Engine.Pool.Failed f ->
+          Printf.eprintf "wsn_repro: job failed after %d attempt%s: %s: %s\n"
+            r.Engine.Pool.attempts
+            (if r.Engine.Pool.attempts = 1 then "" else "s")
+            (Engine.Spec.canonical r.Engine.Pool.spec)
+            (Engine.Pool.failure_to_string f))
+      results;
+    Format.eprintf "%a@." Engine.Sweep.pp_summary summary;
+    if summary.Engine.Sweep.failed > 0 then
+      die exit_job_failure "%d of %d jobs failed" summary.Engine.Sweep.failed
+        summary.Engine.Sweep.total
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run an experiment grid (seeds x metrics) on the parallel engine: forked workers, \
+          content-addressed cache, resumable journal")
+    Term.(
+      const run $ telemetry_arg $ kind $ seeds $ metrics $ n_flows $ demand $ jobs $ timeout
+      $ retries $ cache_dir $ no_cache $ out $ journal $ resume $ retry_failed $ table)
 
 let topo_cmd =
   let run telem seed =
@@ -170,11 +344,25 @@ let all_cmd =
 
 let () =
   let doc = "Reproduction of 'Available Bandwidth in Multirate and Multihop WSNs' (ICDCS'09)" in
-  let info = Cmd.info "wsn_repro" ~version:"1.0.0" ~doc in
+  let exits =
+    [
+      Cmd.Exit.info exit_ok ~doc:"on success.";
+      Cmd.Exit.info exit_job_failure ~doc:"when an experiment or sweep job fails.";
+      Cmd.Exit.info exit_usage ~doc:"on usage or I/O errors.";
+    ]
+  in
+  let info = Cmd.info "wsn_repro" ~version:"1.0.0" ~doc ~exits in
+  let group =
+    Cmd.group info
+      [
+        e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e12_cmd; e13_cmd; e14_cmd; fig2_cmd;
+        ablations_cmd; sweep_cmd; topo_cmd; all_cmd;
+      ]
+  in
+  (* Map Cmdliner's evaluation outcomes onto the uniform exit codes
+     (Cmdliner's own defaults are 124/125). *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e12_cmd; e13_cmd; e14_cmd; fig2_cmd;
-            ablations_cmd; sweep_cmd; topo_cmd; all_cmd;
-          ]))
+    (match Cmd.eval_value group with
+     | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit_ok
+     | Error (`Parse | `Term) -> exit_usage
+     | Error `Exn -> exit_job_failure)

@@ -1,0 +1,46 @@
+type t = { dir : string; fingerprint : string }
+
+let default_dir = ".wsn-cache"
+
+let code_fingerprint =
+  let memo = lazy (
+    try Digest.to_hex (Digest.file Sys.executable_name)
+    with Sys_error _ | Unix.Unix_error _ ->
+      (* No readable binary (e.g. unusual exec contexts): fall back to
+         a coarse identity so caching still works within one build. *)
+      Digest.to_hex (Digest.string (Sys.executable_name ^ ":" ^ Sys.ocaml_version)))
+  in
+  fun () -> Lazy.force memo
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?fingerprint ~dir () =
+  (try mkdir_p dir
+   with Unix.Unix_error (e, _, _) ->
+     raise (Sys_error (Printf.sprintf "cache: cannot create %s: %s" dir (Unix.error_message e))));
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "cache: %s exists and is not a directory" dir));
+  let fingerprint = match fingerprint with Some f -> f | None -> code_fingerprint () in
+  { dir; fingerprint }
+
+let key t spec =
+  Digest.to_hex (Digest.string (Spec.canonical spec ^ "\x00" ^ t.fingerprint))
+
+let path t spec = Filename.concat t.dir (key t spec)
+
+let find t spec =
+  match In_channel.with_open_bin (path t spec) In_channel.input_all with
+  | payload -> Some payload
+  | exception Sys_error _ -> None
+
+let store t spec payload =
+  let final = path t spec in
+  let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+  try
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc payload);
+    Sys.rename tmp final
+  with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())

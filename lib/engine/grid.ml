@@ -1,0 +1,42 @@
+let max_values = 1_000_000
+
+let parse_range s =
+  let ( let* ) = Result.bind in
+  let parse_item acc item =
+    let* acc = acc in
+    let item = String.trim item in
+    let fail () = Error (Printf.sprintf "range: bad item %S (want N or A..B)" item) in
+    match String.index_opt item '.' with
+    | None -> (
+      match Int64.of_string_opt item with Some v -> Ok (v :: acc) | None -> fail ())
+    | Some i ->
+      if i + 1 >= String.length item || item.[i + 1] <> '.' then fail ()
+      else begin
+        let lo = String.sub item 0 i in
+        let hi = String.sub item (i + 2) (String.length item - i - 2) in
+        match (Int64.of_string_opt lo, Int64.of_string_opt hi) with
+        | Some lo, Some hi when lo <= hi ->
+          if Int64.sub hi lo >= Int64.of_int max_values then
+            Error (Printf.sprintf "range: %s expands past the %d-value cap" item max_values)
+          else begin
+            let rec go v acc =
+              if v > hi then Ok acc else go (Int64.add v 1L) (v :: acc)
+            in
+            go lo acc
+          end
+        | Some _, Some _ -> Error (Printf.sprintf "range: descending span %S" item)
+        | _ -> fail ()
+      end
+  in
+  if String.trim s = "" then Error "range: empty expression"
+  else
+    let* rev = List.fold_left parse_item (Ok []) (String.split_on_char ',' s) in
+    if List.length rev > max_values then
+      Error (Printf.sprintf "range: expands past the %d-value cap" max_values)
+    else Ok (List.rev rev)
+
+let specs ~kind ~seeds ~metrics ~n_flows ~demand_mbps =
+  List.concat_map
+    (fun seed ->
+      List.map (fun metric -> Spec.make ~kind ~seed ~n_flows ~demand_mbps ~metric) metrics)
+    seeds

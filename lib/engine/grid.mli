@@ -1,0 +1,20 @@
+(** Grid syntax: turn CLI range expressions into spec lists.
+
+    A range expression is a comma-separated list of items, each either
+    a single integer or an inclusive span [a..b]: ["30"], ["1..100"],
+    ["1..3,7,20..22"].  Expansion preserves written order and does not
+    deduplicate — the grid is exactly what the user spelled. *)
+
+val parse_range : string -> (int64 list, string) result
+(** [Error] pinpoints the first malformed item; empty and descending
+    spans are errors.  Expansion is capped at 1_000_000 values. *)
+
+val specs :
+  kind:string ->
+  seeds:int64 list ->
+  metrics:string list ->
+  n_flows:int ->
+  demand_mbps:float ->
+  Spec.t list
+(** The full grid, seed-major then metric — the paper's presentation
+    order, and the order results are journalled and printed in. *)

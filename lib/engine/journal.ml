@@ -1,0 +1,69 @@
+type status = Ok_done | Failed | Timed_out
+
+type entry = {
+  hash : string;
+  spec : string;
+  status : status;
+  attempts : int;
+  cached : bool;
+  error : string;
+}
+
+let status_to_string = function Ok_done -> "ok" | Failed -> "failed" | Timed_out -> "timeout"
+
+let status_of_string = function
+  | "ok" -> Some Ok_done
+  | "failed" -> Some Failed
+  | "timeout" -> Some Timed_out
+  | _ -> None
+
+let append oc e =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"hash\":";
+  Jsonl.escape buf e.hash;
+  Buffer.add_string buf ",\"spec\":";
+  Jsonl.escape buf e.spec;
+  Printf.bprintf buf ",\"status\":\"%s\",\"attempts\":%d,\"cached\":%b" (status_to_string e.status)
+    e.attempts e.cached;
+  if e.error <> "" then begin
+    Buffer.add_string buf ",\"error\":";
+    Jsonl.escape buf e.error
+  end;
+  Buffer.add_string buf "}\n";
+  Out_channel.output_string oc (Buffer.contents buf);
+  Out_channel.flush oc
+
+let parse_line line =
+  match
+    ( Jsonl.str_field line "hash",
+      Jsonl.str_field line "spec",
+      Option.bind (Jsonl.str_field line "status") status_of_string,
+      Jsonl.int_field line "attempts" )
+  with
+  | Some hash, Some spec, Some status, Some attempts ->
+    Some
+      {
+        hash;
+        spec;
+        status;
+        attempts;
+        cached = Option.value ~default:false (Jsonl.bool_field line "cached");
+        error = Option.value ~default:"" (Jsonl.str_field line "error");
+      }
+  | _ -> None
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_bin path (fun ic ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line -> go (match parse_line line with Some e -> e :: acc | None -> acc)
+        in
+        go [])
+
+let last_by_hash entries =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl e.hash e) entries;
+  tbl

@@ -1,0 +1,37 @@
+(** JSONL run journal.
+
+    One appended, flushed line per finished job (in completion order —
+    nondeterministic under [-j N], which is why the deterministic
+    artifact is the separate results file, written in spec order).  The
+    journal is what makes an interrupted sweep resumable: reloading it
+    tells the orchestrator which jobs already succeeded (their payloads
+    live in the cache) and which failed permanently, so a [--resume]
+    run re-executes neither.  Lines are timestamp-free on purpose: the
+    journal of a finished sweep is a pure function of the grid and the
+    code, up to ordering. *)
+
+type status = Ok_done | Failed | Timed_out
+
+type entry = {
+  hash : string;  (** {!Spec.hash} of the job. *)
+  spec : string;  (** Canonical spec line, for human readers and audits. *)
+  status : status;
+  attempts : int;  (** Attempts consumed (1 + retries used). *)
+  cached : bool;  (** Payload came from the cache (status {!Ok_done}). *)
+  error : string;  (** Failure detail; [""] on success. *)
+}
+
+val status_to_string : status -> string
+(** ["ok"], ["failed"] or ["timeout"]. *)
+
+val append : out_channel -> entry -> unit
+(** Write one JSON line and flush, so a crash loses at most the
+    in-flight line. *)
+
+val load : string -> entry list
+(** Parse a journal file, skipping torn/foreign lines; [[]] when the
+    file does not exist. *)
+
+val last_by_hash : entry list -> (string, entry) Hashtbl.t
+(** Latest entry per job hash — later lines win, so a journal appended
+    to by a resumed run reads correctly. *)

@@ -1,0 +1,76 @@
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Position just past ["key": ] in [line], or None. *)
+let value_start line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length line and m = String.length pat in
+  let rec scan i =
+    if i + m > n then None
+    else if String.sub line i m = pat then
+      let rec skip j = if j < n && line.[j] = ' ' then skip (j + 1) else j in
+      Some (skip (i + m))
+    else scan (i + 1)
+  in
+  scan 0
+
+let str_field line key =
+  match value_start line key with
+  | None -> None
+  | Some i ->
+    let n = String.length line in
+    if i >= n || line.[i] <> '"' then None
+    else begin
+      let buf = Buffer.create 32 in
+      let rec go j =
+        if j >= n then None (* torn line: no closing quote *)
+        else
+          match line.[j] with
+          | '"' -> Some (Buffer.contents buf)
+          | '\\' when j + 1 < n -> (
+            (match line.[j + 1] with
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'u' when j + 5 < n ->
+               (try
+                  Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub line (j + 2) 4)))
+                with _ -> ())
+             | c -> Buffer.add_char buf c);
+            go (if line.[j + 1] = 'u' then j + 6 else j + 2))
+          | c ->
+            Buffer.add_char buf c;
+            go (j + 1)
+      in
+      go (i + 1)
+    end
+
+let scan_token line i =
+  let n = String.length line in
+  let rec stop j =
+    if j >= n then j
+    else match line.[j] with ',' | '}' | ' ' -> j | _ -> stop (j + 1)
+  in
+  String.sub line i (stop i - i)
+
+let int_field line key =
+  match value_start line key with
+  | None -> None
+  | Some i -> int_of_string_opt (scan_token line i)
+
+let bool_field line key =
+  match value_start line key with
+  | None -> None
+  | Some i -> bool_of_string_opt (scan_token line i)

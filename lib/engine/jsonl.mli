@@ -1,0 +1,19 @@
+(** Minimal JSON-lines helpers shared by the journal and the results
+    writer.
+
+    The engine writes strict JSON (keys and strings escaped per
+    RFC 8259) but reads back only its own records, so the reader is a
+    deliberately small field extractor over one flat object per line —
+    enough to survive torn lines from a crashed run without pulling in
+    a JSON dependency. *)
+
+val escape : Buffer.t -> string -> unit
+(** Append [s] as a quoted JSON string. *)
+
+val str_field : string -> string -> string option
+(** [str_field line key] extracts ["key":"value"] from a flat object,
+    unescaping the usual sequences; [None] when absent or torn. *)
+
+val int_field : string -> string -> int option
+
+val bool_field : string -> string -> bool option

@@ -10,54 +10,45 @@ type t = {
 
 let default_seed = 30L
 
+let compute_run ~scenario ~metric =
+  Admission.run scenario.RS.topology scenario.RS.model ~metric ~flows:scenario.RS.flows
+
 let compute ?(seed = default_seed) () =
   let scenario = RS.generate ~seed () in
-  let runs =
-    List.map
-      (fun metric ->
-        Admission.run scenario.RS.topology scenario.RS.model ~metric ~flows:scenario.RS.flows)
-      Metrics.all
-  in
+  let runs = List.map (fun metric -> compute_run ~scenario ~metric) Metrics.all in
   { seed; scenario; runs }
 
 let admitted_count run =
   List.length (List.filter (fun s -> s.Admission.admitted) run.Admission.steps)
 
-let sweep_seeds ~seeds =
-  let totals = Hashtbl.create 3 in
-  List.iter
-    (fun seed ->
-      let t = compute ~seed () in
-      List.iter
-        (fun run ->
-          let m = run.Admission.label in
-          let prev = Option.value ~default:0 (Hashtbl.find_opt totals m) in
-          Hashtbl.replace totals m (prev + admitted_count run))
-        t.runs)
-    seeds;
-  let n = float_of_int (List.length seeds) in
-  List.map
-    (fun m ->
-      ( m,
-        float_of_int (Option.value ~default:0 (Hashtbl.find_opt totals (Metrics.name m))) /. n ))
-    Metrics.all
+(* Rendering is split so the engine path (payloads parsed back from a
+   sweep) can reproduce the e3 output byte for byte through the very
+   same formatting code. *)
 
-let print ?seed () =
-  let t = compute ?seed () in
-  Printf.printf "# E3 (Fig. 3): available bandwidth of each flow's path, per routing metric\n";
-  Printf.printf "# seed=%Ld  topology: %d nodes, %d links\n" t.seed
-    (Wsn_net.Topology.n_nodes t.scenario.RS.topology)
-    (Wsn_net.Topology.n_links t.scenario.RS.topology);
+let render_header ~seed ~nodes ~links =
+  Printf.sprintf
+    "# E3 (Fig. 3): available bandwidth of each flow's path, per routing metric\n\
+     # seed=%Ld  topology: %d nodes, %d links\n"
+    seed nodes links
+
+let render_run (run : Admission.run) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%-14s" run.Admission.label;
   List.iter
-    (fun run ->
-      Printf.printf "%-14s" run.Admission.label;
-      List.iter
-        (fun (s : Admission.step) ->
-          Printf.printf " f%d=%5.2f%s" s.Admission.index s.Admission.available_mbps
-            (if s.Admission.admitted then "" else "*"))
-        run.Admission.steps;
-      (match run.Admission.first_failure with
-       | Some i -> Printf.printf "  (first failure: flow %d)" i
-       | None -> Printf.printf "  (all admitted)");
-      print_newline ())
-    t.runs
+    (fun (s : Admission.step) ->
+      Printf.bprintf buf " f%d=%5.2f%s" s.Admission.index s.Admission.available_mbps
+        (if s.Admission.admitted then "" else "*"))
+    run.Admission.steps;
+  (match run.Admission.first_failure with
+   | Some i -> Printf.bprintf buf "  (first failure: flow %d)" i
+   | None -> Printf.bprintf buf "  (all admitted)");
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render t =
+  render_header ~seed:t.seed
+    ~nodes:(Wsn_net.Topology.n_nodes t.scenario.RS.topology)
+    ~links:(Wsn_net.Topology.n_links t.scenario.RS.topology)
+  ^ String.concat "" (List.map render_run t.runs)
+
+let print ?seed () = print_string (render (compute ?seed ()))

@@ -5,7 +5,10 @@
     own admission history.  The figure's series is, per metric, the LP
     available bandwidth of every flow's chosen path; the headline shape
     is which flow fails first (paper: hop count at the 3rd flow, e2eTD
-    at the 5th, average-e2eD at the 8th). *)
+    at the 5th, average-e2eD at the 8th).
+
+    The seed-grid aggregate of this experiment lives in {!Sweep_jobs}
+    and runs on the {!Wsn_engine} sweep subsystem. *)
 
 type t = {
   seed : int64;
@@ -16,13 +19,23 @@ type t = {
 val compute : ?seed:int64 -> unit -> t
 (** Run admission for all three metrics (default seed 30). *)
 
+val compute_run :
+  scenario:Wsn_workload.Scenarios.Random_scenario.t ->
+  metric:Wsn_routing.Metrics.t ->
+  Wsn_routing.Admission.run
+(** One metric's admission history on a prepared scenario — the pure
+    unit of work a sweep job executes. *)
+
 val admitted_count : Wsn_routing.Admission.run -> int
 (** Flows admitted in a run. *)
 
-val sweep_seeds : seeds:int64 list -> (Wsn_routing.Metrics.t * float) list
-(** Mean number of admitted flows per metric across seeds — the
-    aggregate form of the paper's single-topology claim that
-    average-e2eD admits the most flows. *)
+val render : t -> string
+(** The full e3 text block ({!render_header} then one {!render_run}
+    per metric). *)
+
+val render_header : seed:int64 -> nodes:int -> links:int -> string
+
+val render_run : Wsn_routing.Admission.run -> string
 
 val print : ?seed:int64 -> unit -> unit
-(** Print the per-flow series and first failures to stdout. *)
+(** [print_string] of {!render}. *)

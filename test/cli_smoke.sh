@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CLI smoke test: exit-code policy and sweep behaviour through the real
+# binary.  Run by the dune `cli-smoke` alias (and `make sweep-smoke`)
+# with the wsn_repro executable as $1; everything happens in a scratch
+# directory under the sandboxed CWD.
+set -u
+
+BIN=$1
+T=cli-smoke-tmp
+rm -rf "$T"
+mkdir -p "$T"
+
+fails=0
+expect_exit() { # expect_exit CODE DESC CMD...
+  local want=$1 desc=$2
+  shift 2
+  "$@" >"$T/stdout" 2>"$T/stderr"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc — expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$T/stderr" >&2
+    fails=$((fails + 1))
+  fi
+}
+assert() { # assert DESC TEST...
+  local desc=$1
+  shift
+  if ! "$@"; then
+    echo "FAIL: $desc" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+# --- exit-code policy -------------------------------------------------
+expect_exit 0 "--help is ok" "$BIN" --help
+expect_exit 2 "unknown subcommand is a usage error" "$BIN" no-such-experiment
+expect_exit 2 "malformed --seeds is a usage error" "$BIN" sweep --seeds bogus
+expect_exit 2 "unknown metric is a usage error" "$BIN" sweep --metrics no-such-metric
+expect_exit 2 "--resume without --journal is a usage error" "$BIN" sweep --resume
+expect_exit 1 "a failing job exits 1" \
+  "$BIN" sweep --kind fail --seeds 1..2 --retries 0 -j 2 --no-cache
+
+# --- a tiny fixed-seed grid under -j2 ---------------------------------
+GRID=(--seeds 1..2 --n-flows 2 -j 2)
+expect_exit 0 "cold sweep succeeds" \
+  "$BIN" sweep "${GRID[@]}" --cache "$T/cache" -o "$T/cold.jsonl" --journal "$T/cold.journal"
+assert "results file written" test -s "$T/cold.jsonl"
+assert "journal written" test -s "$T/cold.journal"
+assert "6 jobs journalled" test "$(wc -l < "$T/cold.journal")" -eq 6
+assert "cold run computed everything" \
+  test "$(grep -c '"cached":true' "$T/cold.journal")" -eq 0
+assert "cache populated" test "$(ls "$T/cache" | wc -l)" -ge 6
+
+# Determinism: -j1 with a fresh cache is byte-identical to -j2.
+expect_exit 0 "cold -j1 sweep succeeds" \
+  "$BIN" sweep --seeds 1..2 --n-flows 2 -j 1 --cache "$T/cache-j1" -o "$T/cold-j1.jsonl"
+assert "-j1 and -j2 results byte-identical" cmp -s "$T/cold.jsonl" "$T/cold-j1.jsonl"
+
+# Warm rerun over the same cache: all hits, same bytes.
+expect_exit 0 "warm sweep succeeds" \
+  "$BIN" sweep "${GRID[@]}" --cache "$T/cache" -o "$T/warm.jsonl" --journal "$T/warm.journal"
+assert "warm run is 100% cache hits" \
+  test "$(grep -c '"cached":true' "$T/warm.journal")" -eq 6
+assert "warm results byte-identical to cold" cmp -s "$T/cold.jsonl" "$T/warm.jsonl"
+
+# --table over one seed reproduces e3 byte-for-byte.
+expect_exit 0 "e3 runs" "$BIN" e3 --seed 30
+cp "$T/stdout" "$T/e3.txt"
+expect_exit 0 "sweep --table runs" \
+  "$BIN" sweep --table --seeds 30 --n-flows 8 -j 2 --no-cache
+assert "sweep --table == e3" cmp -s "$T/e3.txt" "$T/stdout"
+
+if [ "$fails" -gt 0 ]; then
+  echo "cli_smoke: $fails check(s) failed" >&2
+  exit 1
+fi
+echo "cli_smoke: all checks passed"

@@ -20,6 +20,7 @@ let () =
       ("mac", Test_mac.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
+      ("engine", Test_engine.suite);
       ("joint", Test_joint.suite);
       ("column-gen", Test_column_gen.suite);
     ]
