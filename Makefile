@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel clean
 
 all:
 	dune build
@@ -12,6 +12,7 @@ check:
 	dune build
 	dune runtest
 	$(MAKE) sweep-smoke
+	$(MAKE) parallel-smoke
 
 # Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
 # -j2, asserting the exit-code policy, journal contents, warm-cache
@@ -37,6 +38,18 @@ bench-quick:
 # cache hits; writes jobs/s and the -j4-over-j1 speedup.
 bench-sweep:
 	dune exec bench/main.exe -- --sweep --sweep-out BENCH_sweep.json
+
+# Domain-pool suite: the two multicore hot paths (enumeration +
+# pricing) and the in-process sweep backend at 1/2/4 domains.
+# Byte-identity across widths and backends is always gated; the >= 2x
+# d4-over-d1 speedup is gated only on machines with >= 4 cores.
+bench-parallel:
+	dune exec bench/main.exe -- --parallel --parallel-out BENCH_parallel.json
+
+# Same suite, reduced workload — the determinism gate in seconds; part
+# of `make check`.
+parallel-smoke:
+	dune exec bench/main.exe -- --parallel-quick --parallel-out BENCH_parallel_quick.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

@@ -483,6 +483,130 @@ let sweep_bench ~quick ~out () =
     exit 1
   end
 
+(* --- parallel suite: domain-pool speedup and determinism ------------ *)
+
+(* Two claims, three domain counts each.  Pipeline: one admission pass
+   plus a warm column-generation and a full enumeration — the two
+   multicore hot paths — at 1/2/4 domains on the shared global pool;
+   the printed artifact must be byte-identical at every width (the
+   pool's fan-in is ordered, so parallelism is behaviourally
+   invisible).  Sweep: the same Fig. 3 grid under the in-process
+   Domains backend at 1/2/4 domains, against a forked -j1 reference;
+   all four result files must match byte for byte.  Identity is gated
+   unconditionally; the >= 2x speedup claim is only gated when the
+   machine actually has >= 4 cores (a 1-core container can prove
+   determinism but not speedup). *)
+let parallel_bench ~quick ~out () =
+  let seed = 30L in
+  let n_flows = if quick then 4 else 8 in
+  let metrics = [ Metrics.Average_e2e_delay ] in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "parallel suite: seed %Ld, %d flows, %s mode, %d core%s available\n%!" seed
+    n_flows
+    (if quick then "quick" else "full")
+    cores
+    (if cores = 1 then "" else "s");
+  let n_seeds = if quick then 3 else 6 in
+  let sweep_flows = if quick then 3 else 8 in
+  let specs =
+    Engine.Grid.specs ~kind:"fig3"
+      ~seeds:(List.init n_seeds (fun i -> Int64.of_int (i + 1)))
+      ~metrics:(List.map Wsn_routing.Metrics.name Wsn_routing.Metrics.all)
+      ~n_flows:sweep_flows ~demand_mbps:2.0
+  in
+  let jobs = List.length specs in
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wsn-parallel-bench-%d" (Unix.getpid ()))
+  in
+  rm_rf tmp;
+  Unix.mkdir tmp 0o755;
+  (* No cache: every arm must pay full compute, or the speedup
+     comparison is meaningless. *)
+  let sweep_arm ~label ~backend ~workers ~file =
+    let cfg =
+      {
+        Engine.Sweep.default with
+        Engine.Sweep.backend;
+        workers;
+        retries = 0;
+        cache_dir = None;
+        out = Some (Filename.concat tmp file);
+      }
+    in
+    let _, s = Engine.Sweep.run cfg ~runner:Wsn_experiments.Sweep_jobs.runner specs in
+    Printf.printf "  sweep %-12s %.2fs (%.1f jobs/s)\n%!" label s.Engine.Sweep.wall_s
+      (float_of_int jobs /. Float.max 1e-9 s.Engine.Sweep.wall_s);
+    s.Engine.Sweep.wall_s
+  in
+  Printf.printf "  sweep grid: %d jobs (%d seeds x 3 metrics, %d flows)\n%!" jobs n_seeds
+    sweep_flows;
+  (* The forked reference arm must run before anything spawns a
+     domain: OCaml 5 forbids [Unix.fork] for the rest of the process
+     once any domain has ever been created, even after it is joined. *)
+  let wf = sweep_arm ~label:"fork -j1:" ~backend:Engine.Pool.Fork ~workers:1 ~file:"rf.jsonl" in
+  (* [perf_pipeline] builds a fresh model (fresh conflict kernel) per
+     call, so no arm warms another's memo pool. *)
+  let pipeline_arm domains =
+    Wsn_parallel.Pool.set_domains domains;
+    let t0 = Unix.gettimeofday () in
+    let artifact, _ = perf_pipeline ~seed ~n_flows ~metrics ~kernel:true ~warm:true () in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "  pipeline d=%d: %.2fs\n%!" domains wall;
+    (artifact, wall)
+  in
+  let p1, pw1 = pipeline_arm 1 in
+  let p2, pw2 = pipeline_arm 2 in
+  let p4, pw4 = pipeline_arm 4 in
+  Wsn_parallel.Pool.set_domains 1;
+  let pipeline_identical = String.equal p1 p2 && String.equal p1 p4 in
+  let pipeline_speedup = pw1 /. Float.max 1e-9 pw4 in
+  let w1 = sweep_arm ~label:"domains d1:" ~backend:Engine.Pool.Domains ~workers:1 ~file:"r1.jsonl" in
+  let w2 = sweep_arm ~label:"domains d2:" ~backend:Engine.Pool.Domains ~workers:2 ~file:"r2.jsonl" in
+  let w4 = sweep_arm ~label:"domains d4:" ~backend:Engine.Pool.Domains ~workers:4 ~file:"r4.jsonl" in
+  let read f = In_channel.with_open_bin (Filename.concat tmp f) In_channel.input_all in
+  let rf = read "rf.jsonl" in
+  let sweep_identical =
+    String.equal rf (read "r1.jsonl") && String.equal rf (read "r2.jsonl")
+    && String.equal rf (read "r4.jsonl")
+  in
+  let sweep_speedup = w1 /. Float.max 1e-9 w4 in
+  rm_rf tmp;
+  let gate_speedup = cores >= 4 in
+  Printf.printf "  pipeline outputs identical (d1/d2/d4): %b\n" pipeline_identical;
+  Printf.printf "  pipeline d4 over d1 speedup: %.2fx\n" pipeline_speedup;
+  Printf.printf "  sweep outputs identical (fork/d1/d2/d4): %b\n" sweep_identical;
+  Printf.printf "  sweep d4 over d1 speedup: %.2fx (gated: %b, %d core%s)\n" sweep_speedup
+    gate_speedup cores
+    (if cores = 1 then "" else "s");
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"cores\": %d,\n  \"quick\": %b,\n  \"speedup_gated\": %b,\n\
+    \  \"pipeline\": {\"wall_d1_s\": %.6f, \"wall_d2_s\": %.6f, \"wall_d4_s\": %.6f,\n\
+    \    \"outputs_identical\": %b, \"speedup_d4_over_d1\": %.3f},\n\
+    \  \"sweep\": {\"jobs\": %d, \"wall_fork_j1_s\": %.6f, \"wall_d1_s\": %.6f,\n\
+    \    \"wall_d2_s\": %.6f, \"wall_d4_s\": %.6f,\n\
+    \    \"outputs_identical\": %b, \"speedup_d4_over_d1\": %.3f}\n}\n"
+    cores quick gate_speedup pw1 pw2 pw4 pipeline_identical pipeline_speedup jobs wf w1 w2 w4
+    sweep_identical sweep_speedup;
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let failed = ref false in
+  if not pipeline_identical then begin
+    Printf.eprintf "PARALLEL FAIL: pipeline outputs differ across domain counts\n";
+    failed := true
+  end;
+  if not sweep_identical then begin
+    Printf.eprintf "PARALLEL FAIL: sweep results differ across backends/domain counts\n";
+    failed := true
+  end;
+  if gate_speedup && sweep_speedup < 2.0 then begin
+    Printf.eprintf "PARALLEL FAIL: sweep d4 speedup %.2fx < 2.0x on %d cores\n" sweep_speedup
+      cores;
+    failed := true
+  end;
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -502,6 +626,9 @@ let () =
   let sweep_mode = ref false in
   let sweep_quick = ref false in
   let sweep_out = ref "BENCH_sweep.json" in
+  let parallel_mode = ref false in
+  let parallel_quick = ref false in
+  let parallel_out = ref "BENCH_parallel.json" in
   Arg.parse
     [
       ( "--seed",
@@ -521,9 +648,16 @@ let () =
       ("--sweep", Arg.Set sweep_mode, " run the Wsn_engine sweep suite (-j1 vs -j4 vs warm cache)");
       ("--sweep-quick", Arg.Unit (fun () -> sweep_mode := true; sweep_quick := true), " sweep suite, reduced grid");
       ("--sweep-out", Arg.Set_string sweep_out, "FILE sweep report path (default BENCH_sweep.json)");
+      ("--parallel", Arg.Set parallel_mode, " run the domain-pool parallel suite (1/2/4 domains, determinism + speedup)");
+      ("--parallel-quick", Arg.Unit (fun () -> parallel_mode := true; parallel_quick := true), " parallel suite, reduced workload");
+      ("--parallel-out", Arg.Set_string parallel_out, "FILE parallel report path (default BENCH_parallel.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE]";
+    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE]";
+  if !parallel_mode then begin
+    parallel_bench ~quick:!parallel_quick ~out:!parallel_out ();
+    exit 0
+  end;
   if !sweep_mode then begin
     sweep_bench ~quick:!sweep_quick ~out:!sweep_out ();
     exit 0

@@ -39,6 +39,19 @@ let telemetry_arg =
   in
   Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
+(* Global parallelism switch, available on every subcommand: the size
+   of the in-process domain pool used by set enumeration, pricing and
+   simulator replications.  The default of 1 keeps every code path
+   sequential (today's behaviour); any size produces byte-identical
+   output. *)
+let domains_arg =
+  let doc =
+    "Domains for in-process parallel hot paths (set enumeration, LP pricing, simulator \
+     replications).  1 (the default) is fully sequential; results are byte-identical \
+     for any value."
+  in
+  Arg.(value & opt int 1 & info [ "d"; "domains" ] ~docv:"N" ~doc)
+
 (* The snapshot must flush even when [run] raises — a failing
    experiment's counters are exactly the ones worth reading — hence
    [Fun.protect].  The finally must not exit (it would mask the
@@ -72,71 +85,80 @@ let with_telemetry mode run =
     exit exit_usage
   | None -> ()
 
+(* Every subcommand funnels through here: validate and install the
+   global domain count (usage errors exit 2, like any flag error),
+   then run under the telemetry bracket. *)
+let with_common telem domains run =
+  with_telemetry telem (fun () ->
+      if domains < 1 then die exit_usage "--domains must be >= 1 (got %d)" domains;
+      Wsn_parallel.Pool.set_domains domains;
+      run ())
+
 let e1_cmd =
-  let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scenario1.print ()) in
+  let run telem domains = with_common telem domains (fun () -> Wsn_experiments.Scenario1.print ()) in
   Cmd.v (Cmd.info "e1" ~doc:"Scenario I: idle-time estimation vs optimal scheduling")
-    Term.(const run $ telemetry_arg)
+    Term.(const run $ telemetry_arg $ domains_arg)
 
 let e2_cmd =
-  let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scenario2.print ()) in
+  let run telem domains = with_common telem domains (fun () -> Wsn_experiments.Scenario2.print ()) in
   Cmd.v (Cmd.info "e2" ~doc:"Scenario II: the four-link chain and the 16.2 Mbps optimum")
-    Term.(const run $ telemetry_arg)
+    Term.(const run $ telemetry_arg $ domains_arg)
 
 let e3_cmd =
-  let run telem seed = with_telemetry telem (fun () -> Wsn_experiments.Fig3.print ~seed ()) in
+  let run telem domains seed = with_common telem domains (fun () -> Wsn_experiments.Fig3.print ~seed ()) in
   Cmd.v (Cmd.info "e3" ~doc:"Fig. 3: routing metrics on the random 30-node topology")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let e4_cmd =
-  let run telem seed = with_telemetry telem (fun () -> Wsn_experiments.Fig4.print ~seed ()) in
+  let run telem domains seed = with_common telem domains (fun () -> Wsn_experiments.Fig4.print ~seed ()) in
   Cmd.v (Cmd.info "e4" ~doc:"Fig. 4: estimators of path available bandwidth")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let e5_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () -> Wsn_experiments.Hypothesis.print ~seed ())
+  let run telem domains seed =
+    with_common telem domains (fun () -> Wsn_experiments.Hypothesis.print ~seed ())
   in
   Cmd.v (Cmd.info "e5" ~doc:"Hypothesis (8) violation sweep")
-    Term.(const run $ telemetry_arg $ seed_arg 11L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 11L)
 
 let e6_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () -> Wsn_experiments.Mac_validation.print ~seed ())
+  let run telem domains seed =
+    with_common telem domains (fun () -> Wsn_experiments.Mac_validation.print ~seed ())
   in
   Cmd.v (Cmd.info "e6" ~doc:"CSMA/CA-measured vs analytic idleness")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let e7_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () -> Wsn_experiments.Routing_strategies.print ~seed ())
+  let run telem domains seed =
+    with_common telem domains (fun () -> Wsn_experiments.Routing_strategies.print ~seed ())
   in
   Cmd.v (Cmd.info "e7" ~doc:"Bandwidth-aware routing strategies vs additive metrics")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let e12_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () -> Wsn_experiments.Joint_gap.print ~seed ())
+  let run telem domains seed =
+    with_common telem domains (fun () -> Wsn_experiments.Joint_gap.print ~seed ())
   in
   Cmd.v (Cmd.info "e12" ~doc:"Single-path cost vs splittable joint routing optimum")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let e13_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () -> Wsn_experiments.Protocol_gap.print ~seed ())
+  let run telem domains seed =
+    with_common telem domains (fun () -> Wsn_experiments.Protocol_gap.print ~seed ())
   in
   Cmd.v (Cmd.info "e13" ~doc:"Protocol (pairwise) vs physical (SINR) interference model")
-    Term.(const run $ telemetry_arg $ seed_arg 5L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 5L)
 
 let e14_cmd =
-  let run telem = with_telemetry telem (fun () -> Wsn_experiments.Scalability.print ()) in
+  let run telem domains = with_common telem domains (fun () -> Wsn_experiments.Scalability.print ()) in
   Cmd.v (Cmd.info "e14" ~doc:"Enumeration vs column generation scalability")
-    Term.(const run $ telemetry_arg)
+    Term.(const run $ telemetry_arg $ domains_arg)
 
 let fig2_cmd =
   let doc = "Output file (- for stdout)." in
   let out = Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc) in
-  let run telem seed out =
-    with_telemetry telem (fun () ->
+  let run telem domains seed out =
+    with_common telem domains (fun () ->
         if out = "-" then Wsn_experiments.Fig2.print ~seed ()
         else begin
           (try Wsn_experiments.Fig2.write ~seed ~path:out ()
@@ -145,11 +167,11 @@ let fig2_cmd =
         end)
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Emit the Fig. 2 topology/paths picture as Graphviz DOT")
-    Term.(const run $ telemetry_arg $ seed_arg 30L $ out)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ out)
 
 let ablations_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () ->
+  let run telem domains seed =
+    with_common telem domains (fun () ->
         Wsn_experiments.Ablations.Rts_cts.print ~seed ();
         print_newline ();
         Wsn_experiments.Ablations.Cs_range.print ~seed ();
@@ -160,7 +182,7 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Ablations E8-E11: RTS/CTS, CS range, quantisation, dominance filter")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 (* --- sweep: grid execution on the Wsn_engine pool -------------------- *)
 
@@ -197,6 +219,14 @@ let sweep_cmd =
   let demand =
     let doc = "Per-flow demand in Mbit/s (the paper uses 2.0)." in
     Arg.(value & opt float 2.0 & info [ "demand" ] ~docv:"MBPS" ~doc)
+  in
+  let backend =
+    let doc =
+      "Job execution backend: $(b,fork) (default; crash-isolated child processes with \
+       timeouts) or $(b,domains) (in-process domain pool; pure jobs only, no fork \
+       overhead, results byte-identical to fork)."
+    in
+    Arg.(value & opt string "fork" & info [ "backend" ] ~docv:"NAME" ~doc)
   in
   let jobs =
     let doc = "Worker processes; 0 runs in-process (no crash isolation or timeouts)." in
@@ -235,9 +265,20 @@ let sweep_cmd =
     let doc = "Print per-seed Fig. 3 tables (byte-identical to e3) instead of the aggregate." in
     Arg.(value & flag & info [ "table" ] ~doc)
   in
-  let run telem kind seeds metrics n_flows demand jobs timeout retries cache_dir no_cache out
-      journal resume retry_failed table =
-    with_telemetry telem @@ fun () ->
+  let run telem domains kind seeds metrics n_flows demand backend jobs timeout retries cache_dir
+      no_cache out journal resume retry_failed table =
+    with_common telem domains @@ fun () ->
+    let backend =
+      match backend with
+      | "fork" -> Engine.Pool.Fork
+      | "domains" ->
+        (* Fault-injection kinds exist to crash, hang or kill their
+           worker; only the forked backend survives that. *)
+        if kind <> "fig3" then
+          die exit_usage "--backend domains requires a pure job kind (fig3), not %s" kind;
+        Engine.Pool.Domains
+      | other -> die exit_usage "unknown backend %S (have: fork, domains)" other
+    in
     let seeds =
       match Engine.Grid.parse_range seeds with
       | Ok s -> s
@@ -257,7 +298,8 @@ let sweep_cmd =
     if resume && journal = None then die exit_usage "--resume needs --journal or --out";
     let cfg =
       {
-        Engine.Sweep.workers = jobs;
+        Engine.Sweep.backend;
+        workers = jobs;
         timeout_s = (if timeout <= 0.0 then infinity else timeout);
         retries;
         cache_dir = (if no_cache then None else Some cache_dir);
@@ -309,22 +351,23 @@ let sweep_cmd =
          "Run an experiment grid (seeds x metrics) on the parallel engine: forked workers, \
           content-addressed cache, resumable journal")
     Term.(
-      const run $ telemetry_arg $ kind $ seeds $ metrics $ n_flows $ demand $ jobs $ timeout
-      $ retries $ cache_dir $ no_cache $ out $ journal $ resume $ retry_failed $ table)
+      const run $ telemetry_arg $ domains_arg $ kind $ seeds $ metrics $ n_flows $ demand
+      $ backend $ jobs $ timeout $ retries $ cache_dir $ no_cache $ out $ journal $ resume
+      $ retry_failed $ table)
 
 let topo_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () ->
+  let run telem domains seed =
+    with_common telem domains (fun () ->
         let scenario = Wsn_workload.Scenarios.Random_scenario.generate ~seed () in
         Format.printf "%a@." Wsn_net.Topology.pp
           scenario.Wsn_workload.Scenarios.Random_scenario.topology)
   in
   Cmd.v (Cmd.info "topo" ~doc:"Print a generated topology")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let all_cmd =
-  let run telem seed =
-    with_telemetry telem (fun () ->
+  let run telem domains seed =
+    with_common telem domains (fun () ->
         Wsn_experiments.Scenario1.print ();
         print_newline ();
         Wsn_experiments.Scenario2.print ();
@@ -340,7 +383,7 @@ let all_cmd =
         Wsn_experiments.Routing_strategies.print ~seed ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run $ telemetry_arg $ seed_arg 30L)
+    Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
 let () =
   let doc = "Reproduction of 'Available Bandwidth in Multirate and Multihop WSNs' (ICDCS'09)" in

@@ -1,5 +1,6 @@
 module Rate = Wsn_radio.Rate
 module Telemetry = Wsn_telemetry.Registry
+module Pool = Wsn_parallel.Pool
 
 type column = { links : int list; rates : Rate.t list; mbps : float array }
 
@@ -74,46 +75,90 @@ let memo_find memo key ~max_sets =
    emission.  With a kernel-backed model the extension test is
    incremental — O(|set|) threshold checks against the running state
    instead of re-validating the whole candidate set. *)
+
+(* Kernel-path DFS below a fixed prefix held in [st].  [emit] receives
+   each independent extension in DFS (ascending, depth-first) order. *)
+let rec kernel_extend st emit rev_set candidates =
+  match candidates with
+  | [] -> ()
+  | l :: rest ->
+    (if Kernel.Inc.add_sorted st l then begin
+       let rev_candidate = l :: rev_set in
+       emit (List.rev rev_candidate);
+       kernel_extend st emit rev_candidate rest;
+       Kernel.Inc.undo st
+     end);
+    kernel_extend st emit rev_set rest
+
+(* Parallel enumeration: every independent set is reached through
+   exactly one root — its minimum link — so the DFS forest splits into
+   one subtree per live link, and concatenating the subtree emissions
+   in root order reproduces the sequential emission order exactly.
+   Each subtree runs on a worker-local kernel view (the shared memo
+   table is not domain-safe); the views' memo pools are folded back
+   into the parent afterwards.  The explosion guard is replayed
+   faithfully: a single subtree over [max_sets] trips it in the worker,
+   and the coordinator re-checks the grand total after the join. *)
+let enumerate_kernel_parallel ~max_sets pool k live =
+  let rec rooted = function [] -> [] | l :: rest -> (l, rest) :: rooted rest in
+  let subtrees =
+    Pool.map pool
+      (fun (root, rest) ->
+        let kv = Kernel.fork k in
+        let st = Kernel.Inc.start kv in
+        let count = ref 0 in
+        let results = ref [] in
+        let emit set =
+          incr count;
+          if !count > max_sets then too_many ();
+          results := set :: !results
+        in
+        if Kernel.Inc.add_sorted st root then begin
+          emit [ root ];
+          kernel_extend st emit [ root ] rest
+        end;
+        (kv, !count, List.rev !results))
+      (Array.of_list (rooted live))
+  in
+  Array.iter (fun (kv, _, _) -> Kernel.merge ~into:k kv) subtrees;
+  let total = Array.fold_left (fun acc (_, c, _) -> acc + c) 0 subtrees in
+  if total > max_sets then too_many ();
+  Telemetry.add m_sets total;
+  List.concat_map (fun (_, _, sets) -> sets) (Array.to_list subtrees)
+
 let enumerate_fresh ~max_sets model ~universe =
   let live = live_links model universe in
-  let count = ref 0 in
-  let results = ref [] in
-  let emit set =
-    incr count;
-    if !count > max_sets then too_many ();
-    results := set :: !results
-  in
-  (match Model.kernel model with
-   | Some k ->
-     let st = Kernel.Inc.start k in
-     let rec extend rev_set candidates =
-       match candidates with
-       | [] -> ()
-       | l :: rest ->
-         (if Kernel.Inc.add_sorted st l then begin
-            let rev_candidate = l :: rev_set in
-            emit (List.rev rev_candidate);
-            extend rev_candidate rest;
-            Kernel.Inc.undo st
-          end);
-         extend rev_set rest
-     in
-     extend [] live
-   | None ->
-     let rec extend rev_set candidates =
-       match candidates with
-       | [] -> ()
-       | l :: rest ->
-         (let candidate = List.rev (l :: rev_set) in
-          if Model.independent model candidate then begin
-            emit candidate;
-            extend (l :: rev_set) rest
-          end);
-         extend rev_set rest
-     in
-     extend [] live);
-  Telemetry.add m_sets !count;
-  List.rev !results
+  let pool = Pool.global () in
+  match Model.kernel model with
+  | Some k when Pool.size pool > 1 && List.length live >= 2 ->
+    enumerate_kernel_parallel ~max_sets pool k live
+  | kernel ->
+    let count = ref 0 in
+    let results = ref [] in
+    let emit set =
+      incr count;
+      if !count > max_sets then too_many ();
+      results := set :: !results
+    in
+    (match kernel with
+     | Some k ->
+       let st = Kernel.Inc.start k in
+       kernel_extend st emit [] live
+     | None ->
+       let rec extend rev_set candidates =
+         match candidates with
+         | [] -> ()
+         | l :: rest ->
+           (let candidate = List.rev (l :: rev_set) in
+            if Model.independent model candidate then begin
+              emit candidate;
+              extend (l :: rev_set) rest
+            end);
+           extend rev_set rest
+       in
+       extend [] live);
+    Telemetry.add m_sets !count;
+    List.rev !results
 
 let enumerate_sets ?(max_sets = default_max_sets) model ~universe =
   Telemetry.incr m_enumerations;

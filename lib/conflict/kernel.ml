@@ -99,6 +99,21 @@ let n_links k = k.n_links
 
 let scratch k = k.scratch
 
+(* --- worker-local views (parallel enumeration) --------------------- *)
+
+(* The precomputed arrays are read-only after [create], so a view can
+   share them; only the memo tables are per-view.  Worker domains each
+   enumerate on their own view (Hashtbl is not domain-safe), and the
+   coordinator folds the views' caches back afterwards. *)
+let fork k = { k with cache = Cache.create 1024; scratch = Hashtbl.create 8 }
+
+let merge ~into src =
+  if not (into.topo == src.topo && into.n_links = src.n_links) then
+    invalid_arg "Kernel.merge: views of different kernels";
+  Cache.iter
+    (fun key e -> if not (Cache.mem into.cache key) then Cache.add into.cache key e)
+    src.cache
+
 let rates k = k.rates
 
 let alone_rates k l =

@@ -52,6 +52,19 @@ val feasible : t -> (int * Wsn_radio.Rate.t) list -> bool
     maximum vector.  Performs no argument validation (callers go
     through {!Model.feasible}). *)
 
+val fork : t -> t
+(** A worker-local view: shares every precomputed (read-only) table
+    with the parent but owns fresh, empty memo stores, so concurrent
+    queries on distinct views never race.  Entries memoised in a view
+    are pure functions of the kernel; fold them back with {!merge}. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into view] adds the rate-vector memo entries of [view]
+    absent from [into] (entries are pure, so which duplicate wins is
+    irrelevant).  The scratch stores are not merged.
+    @raise Invalid_argument when the views derive from different
+    kernels. *)
+
 val scratch : t -> (string, exn) Hashtbl.t
 (** Per-kernel memo store for higher layers of the conflict library
     (a universal type via exception constructors: each client declares

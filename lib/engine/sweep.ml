@@ -1,6 +1,7 @@
 module Registry = Wsn_telemetry.Registry
 
 type config = {
+  backend : Pool.backend;
   workers : int;
   timeout_s : float;
   retries : int;
@@ -14,6 +15,7 @@ type config = {
 
 let default =
   {
+    backend = Pool.Fork;
     workers = 1;
     timeout_s = infinity;
     retries = 1;
@@ -132,8 +134,8 @@ let run cfg ~runner specs =
         }
   in
   let pool_results =
-    Pool.run ~workers:cfg.workers ~timeout_s:cfg.timeout_s ~retries:cfg.retries ?cache ~on_result
-      ~runner (List.map snd to_run)
+    Pool.run ~backend:cfg.backend ~workers:cfg.workers ~timeout_s:cfg.timeout_s
+      ~retries:cfg.retries ?cache ~on_result ~runner (List.map snd to_run)
   in
   Option.iter close_out journal_oc;
   let retries_used =

@@ -20,7 +20,7 @@ type t = {
   background_delivered : (float * float) list;
 }
 
-let compute ?(seed = 30L) ?(duration_us = 2_000_000) () =
+let compute ?(seed = 30L) ?(duration_us = 2_000_000) ?(replications = 1) () =
   let scenario = RS.generate ~seed () in
   let topo = scenario.RS.topology in
   let run =
@@ -38,13 +38,21 @@ let compute ?(seed = 30L) ?(duration_us = 2_000_000) () =
       (fun f -> { Sim.links = Flow.links f; demand_mbps = f.Flow.demand_mbps })
       background
   in
-  let stats = Sim.run topo ~flows:specs ~duration_us in
+  (* Replications fan out over the global domain pool; the default of
+     one replication with the simulator's default seed reproduces the
+     historical single-run output exactly.  Per-node and per-flow
+     figures are averaged across replications in seed order. *)
+  if replications < 1 then invalid_arg "Mac_validation.compute: replications must be >= 1";
+  let seeds = List.init replications (fun i -> Int64.of_int (i + 1)) in
+  let all_stats = Sim.run_replications ~seeds topo ~flows:specs ~duration_us in
+  let k = float_of_int replications in
+  let mean f = List.fold_left (fun acc s -> acc +. f s) 0.0 all_stats /. k in
   let rows =
     List.init (Topology.n_nodes topo) (fun v ->
         {
           node = v;
           analytic = Idleness.node_idleness topo schedule v;
-          measured = stats.Sim.node_idleness.(v);
+          measured = mean (fun s -> s.Sim.node_idleness.(v));
         })
   in
   let mean_gap =
@@ -52,8 +60,9 @@ let compute ?(seed = 30L) ?(duration_us = 2_000_000) () =
     /. float_of_int (List.length rows)
   in
   let background_delivered =
-    Array.to_list
-      (Array.map (fun (f : Sim.flow_stats) -> (f.Sim.offered_mbps, f.Sim.delivered_mbps)) stats.Sim.flows)
+    List.init (List.length specs) (fun i ->
+        ( mean (fun s -> s.Sim.flows.(i).Sim.offered_mbps),
+          mean (fun s -> s.Sim.flows.(i).Sim.delivered_mbps) ))
   in
   { seed; rows; mean_gap; background_delivered }
 

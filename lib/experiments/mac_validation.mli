@@ -23,8 +23,12 @@ type t = {
   background_delivered : (float * float) list;  (** Per background flow: (offered, delivered) Mbit/s. *)
 }
 
-val compute : ?seed:int64 -> ?duration_us:int -> unit -> t
-(** Defaults: seed 30 (E3's topology), 2 s of simulated time. *)
+val compute : ?seed:int64 -> ?duration_us:int -> ?replications:int -> unit -> t
+(** Defaults: seed 30 (E3's topology), 2 s of simulated time, one
+    simulator replication.  With [replications = k > 1], simulator
+    seeds [1..k] run in parallel on the global domain pool
+    ({!Wsn_parallel.Pool.set_domains}) and measured figures are their
+    mean; the result is byte-identical at any pool size. *)
 
 val print : ?seed:int64 -> unit -> unit
 (** Print the comparison to stdout. *)

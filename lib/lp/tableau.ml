@@ -21,7 +21,9 @@ type result =
 
 let eps = 1e-9
 
-(* Internal mutable tableau.  [t] has [m] constraint rows plus one
+(* Internal mutable tableau, stored as one row-major [float array] of
+   [m + 1] rows with stride [cap + 1] (no per-row indirection, no
+   bounds checks in the pivot loops).  [m] constraint rows plus one
    objective row; the right-hand side lives at the fixed column [cap]
    (the allocated width), so logical columns can grow to [cap] without
    moving it — columns [ncols .. cap-1] are spare and identically zero,
@@ -30,7 +32,7 @@ let eps = 1e-9
    value cell = current objective of a maximisation), so a column may
    enter while its entry is below -eps. *)
 type tab = {
-  mutable t : Matrix.t;
+  mutable data : float array;  (* (m+1) × (cap+1), row-major *)
   m : int;
   mutable ncols : int;  (* logical columns *)
   mutable cap : int;  (* allocated columns; rhs lives at column [cap] *)
@@ -39,11 +41,37 @@ type tab = {
   n_art : int;  (* artificials occupy [n_struct, n_struct + n_art) *)
 }
 
-let rhs tab i = Matrix.get tab.t i tab.cap
+let stride tab = tab.cap + 1
 
-let reduced_cost tab j = Matrix.get tab.t tab.m j
+let get tab i j = tab.data.((i * stride tab) + j)
+
+let set tab i j x = tab.data.((i * stride tab) + j) <- x
+
+let rhs tab i = get tab i tab.cap
+
+let reduced_cost tab j = get tab tab.m j
 
 let is_artificial tab j = j >= tab.n_struct && j < tab.n_struct + tab.n_art
+
+(* Row operations over the full allocated width, same float order as
+   the former [Matrix] versions (per-cell [a *. x] / [x +. a *. y]). *)
+let scale_row tab i a =
+  let d = tab.data in
+  let base = i * stride tab in
+  for j = base to base + tab.cap do
+    Array.unsafe_set d j (a *. Array.unsafe_get d j)
+  done
+
+let add_scaled_row tab ~src ~dst a =
+  if a <> 0.0 then begin
+    let d = tab.data in
+    let sb = src * stride tab in
+    let db = dst * stride tab in
+    for j = 0 to tab.cap do
+      Array.unsafe_set d (db + j)
+        (Array.unsafe_get d (db + j) +. (a *. Array.unsafe_get d (sb + j)))
+    done
+  end
 
 (* Eliminate basic columns from the objective row so it holds genuine
    reduced costs for the current basis. *)
@@ -51,16 +79,16 @@ let price_out tab =
   for i = 0 to tab.m - 1 do
     let j = tab.basis.(i) in
     let r = reduced_cost tab j in
-    if Float.abs r > 0.0 then Matrix.add_scaled_row tab.t ~src:i ~dst:tab.m (-.r)
+    if Float.abs r > 0.0 then add_scaled_row tab ~src:i ~dst:tab.m (-.r)
   done
 
 let pivot tab ~row ~col =
-  let p = Matrix.get tab.t row col in
-  Matrix.scale_row tab.t row (1.0 /. p);
+  let p = get tab row col in
+  scale_row tab row (1.0 /. p);
   for i = 0 to tab.m do
     if i <> row then begin
-      let coeff = Matrix.get tab.t i col in
-      if Float.abs coeff > 0.0 then Matrix.add_scaled_row tab.t ~src:row ~dst:i (-.coeff)
+      let coeff = get tab i col in
+      if Float.abs coeff > 0.0 then add_scaled_row tab ~src:row ~dst:i (-.coeff)
     end
   done;
   tab.basis.(row) <- col;
@@ -69,11 +97,13 @@ let pivot tab ~row ~col =
 (* Entering column: Dantzig rule (most negative reduced cost) normally,
    Bland rule (lowest eligible index) once [bland] is set. *)
 let entering tab ~allowed ~bland =
+  let d = tab.data in
+  let zb = tab.m * stride tab in
   if bland then begin
     let found = ref None in
     (try
        for j = 0 to tab.ncols - 1 do
-         if allowed j && reduced_cost tab j < -.eps then begin
+         if allowed j && Array.unsafe_get d (zb + j) < -.eps then begin
            found := Some j;
            raise Exit
          end
@@ -85,7 +115,7 @@ let entering tab ~allowed ~bland =
     let best = ref None in
     for j = 0 to tab.ncols - 1 do
       if allowed j then begin
-        let r = reduced_cost tab j in
+        let r = Array.unsafe_get d (zb + j) in
         if r < -.eps then
           match !best with
           | Some (_, rb) when rb <= r -> ()
@@ -98,11 +128,13 @@ let entering tab ~allowed ~bland =
 (* Leaving row: minimum ratio test, ties broken by the smallest basic
    column index (lexicographic safeguard against cycling). *)
 let leaving tab ~col =
+  let d = tab.data in
+  let s = stride tab in
   let best = ref None in
   for i = 0 to tab.m - 1 do
-    let a = Matrix.get tab.t i col in
+    let a = Array.unsafe_get d ((i * s) + col) in
     if a > eps then begin
-      let ratio = rhs tab i /. a in
+      let ratio = Array.unsafe_get d ((i * s) + tab.cap) /. a in
       match !best with
       | None -> best := Some (i, ratio)
       | Some (bi, br) ->
@@ -153,8 +185,8 @@ let extract st =
     if j < st.n then x.(j) <- rhs tab i
     else if j >= st.first_appended then x.(st.n + (j - st.first_appended)) <- rhs tab i
   done;
-  let duals = Vector.init tab.m (fun i -> st.flip.(i) *. Matrix.get tab.t tab.m st.sig_col.(i)) in
-  Optimal { x; objective = Matrix.get tab.t tab.m tab.cap; duals }
+  let duals = Vector.init tab.m (fun i -> st.flip.(i) *. get tab tab.m st.sig_col.(i)) in
+  Optimal { x; objective = get tab tab.m tab.cap; duals }
 
 let solve_raw ~a ~b ~c ~senses =
   let m = Matrix.rows a in
@@ -186,8 +218,9 @@ let solve_raw ~a ~b ~c ~senses =
   let n_art = Array.fold_left (fun k s -> match s with Types.Ge | Types.Eq -> k + 1 | Types.Le -> k) 0 senses in
   let n_struct = n + n_slack in
   let ncols = n_struct + n_art in
-  let t = Matrix.zeros (m + 1) (ncols + 1) in
+  let data = Array.make ((m + 1) * (ncols + 1)) 0.0 in
   let basis = Array.make m (-1) in
+  let tab = { data; m; ncols; cap = ncols; basis; n_struct; n_art } in
   let slack_cursor = ref n in
   let art_cursor = ref n_struct in
   (* Per row, a unit "signature" column whose final objective-row entry
@@ -196,33 +229,32 @@ let solve_raw ~a ~b ~c ~senses =
   let sig_col = Array.make m (-1) in
   for i = 0 to m - 1 do
     for j = 0 to n - 1 do
-      Matrix.set t i j rows.(i).(j)
+      set tab i j rows.(i).(j)
     done;
-    Matrix.set t i ncols rhs0.(i);
+    set tab i ncols rhs0.(i);
     (match senses.(i) with
      | Types.Le ->
-       Matrix.set t i !slack_cursor 1.0;
+       set tab i !slack_cursor 1.0;
        basis.(i) <- !slack_cursor;
        sig_col.(i) <- !slack_cursor;
        incr slack_cursor
      | Types.Ge ->
-       Matrix.set t i !slack_cursor (-1.0);
+       set tab i !slack_cursor (-1.0);
        incr slack_cursor;
-       Matrix.set t i !art_cursor 1.0;
+       set tab i !art_cursor 1.0;
        basis.(i) <- !art_cursor;
        sig_col.(i) <- !art_cursor;
        incr art_cursor
      | Types.Eq ->
-       Matrix.set t i !art_cursor 1.0;
+       set tab i !art_cursor 1.0;
        basis.(i) <- !art_cursor;
        sig_col.(i) <- !art_cursor;
        incr art_cursor)
   done;
-  let tab = { t; m; ncols; cap = ncols; basis; n_struct; n_art } in
   (* Phase 1: minimise the sum of artificials. *)
   if n_art > 0 then begin
     for j = n_struct to ncols - 1 do
-      Matrix.set t m j 1.0
+      set tab m j 1.0
     done;
     price_out tab;
     (match optimise tab ~allowed:(fun j -> j < tab.ncols) ~iters:m_phase1_iters with
@@ -238,7 +270,7 @@ let solve_raw ~a ~b ~c ~senses =
     if is_artificial tab tab.basis.(i) then begin
       let found = ref None in
       for j = 0 to n_struct - 1 do
-        if !found = None && Float.abs (Matrix.get t i j) > eps then found := Some j
+        if !found = None && Float.abs (get tab i j) > eps then found := Some j
       done;
       match !found with Some j -> pivot tab ~row:i ~col:j | None -> ()
     end
@@ -246,10 +278,10 @@ let solve_raw ~a ~b ~c ~senses =
   (* Phase 2: reset the objective row to the real costs (negated, per
      the z-row convention) and optimise. *)
   for j = 0 to tab.cap do
-    Matrix.set t m j 0.0
+    set tab m j 0.0
   done;
   for j = 0 to n - 1 do
-    Matrix.set t m j (-.c.(j))
+    set tab m j (-.c.(j))
   done;
   price_out tab;
   let st = { tab; n; first_appended = n_struct + n_art; flip; sig_col; appended = 0 } in
@@ -275,14 +307,13 @@ let add_column st ~coeffs ~cost =
   let tab = st.tab in
   if tab.ncols >= tab.cap then begin
     let cap' = (2 * tab.cap) + 8 in
-    let t' = Matrix.zeros (tab.m + 1) (cap' + 1) in
+    let data' = Array.make ((tab.m + 1) * (cap' + 1)) 0.0 in
+    let s = stride tab in
     for i = 0 to tab.m do
-      for j = 0 to tab.ncols - 1 do
-        Matrix.set t' i j (Matrix.get tab.t i j)
-      done;
-      Matrix.set t' i cap' (Matrix.get tab.t i tab.cap)
+      Array.blit tab.data (i * s) data' (i * (cap' + 1)) tab.ncols;
+      data'.((i * (cap' + 1)) + cap') <- tab.data.((i * s) + tab.cap)
     done;
-    tab.t <- t';
+    tab.data <- data';
     tab.cap <- cap'
   end;
   let j = tab.ncols in
@@ -293,15 +324,20 @@ let add_column st ~coeffs ~cost =
       if i < 0 || i >= tab.m then invalid_arg "Tableau.add_column: row out of range";
       a'.(i) <- a'.(i) +. (st.flip.(i) *. v))
     coeffs;
+  let d = tab.data in
+  let s = stride tab in
   for i = 0 to tab.m - 1 do
     if a'.(i) <> 0.0 then begin
-      let s = st.sig_col.(i) in
+      let sc = st.sig_col.(i) in
+      let ai = Array.unsafe_get a' i in
       for r = 0 to tab.m do
-        Matrix.set tab.t r j (Matrix.get tab.t r j +. (a'.(i) *. Matrix.get tab.t r s))
+        let rb = r * s in
+        Array.unsafe_set d (rb + j)
+          (Array.unsafe_get d (rb + j) +. (ai *. Array.unsafe_get d (rb + sc)))
       done
     end
   done;
-  Matrix.set tab.t tab.m j (Matrix.get tab.t tab.m j -. cost);
+  set tab tab.m j (get tab tab.m j -. cost);
   Telemetry.incr m_columns_added;
   let xi = st.n + st.appended in
   st.appended <- st.appended + 1;

@@ -295,3 +295,12 @@ let run ?(config = Dcf_config.default) ?(seed = 1L) topo ~flows ~duration_us =
     frames_sent = !frames_sent;
     collisions = !collisions;
   }
+
+(* Replications are embarrassingly parallel: [run] touches only
+   run-local state, the immutable topology, and the (domain-safe)
+   telemetry registry, so seeds fan out across the global domain pool.
+   Results come back in seed order — identical to a sequential map. *)
+let run_replications ?config ~seeds topo ~flows ~duration_us =
+  Wsn_parallel.Pool.map_list (Wsn_parallel.Pool.global ())
+    (fun seed -> run ?config ~seed topo ~flows ~duration_us)
+    seeds

@@ -55,3 +55,16 @@ val run :
 (** [run topo ~flows ~duration_us] simulates the network (default
     config {!Dcf_config.default}, default seed 1).
     @raise Invalid_argument on an invalid route or negative demand. *)
+
+val run_replications :
+  ?config:Dcf_config.t ->
+  seeds:int64 list ->
+  Wsn_net.Topology.t ->
+  flows:flow_spec list ->
+  duration_us:int ->
+  stats list
+(** [run_replications ~seeds topo ~flows ~duration_us] runs one
+    simulation per seed on the global domain pool
+    ({!Wsn_parallel.Pool.set_domains}), returning the stats in seed
+    order — byte-identical to mapping {!run} over [seeds]
+    sequentially, at any pool size. *)

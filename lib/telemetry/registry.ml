@@ -1,14 +1,23 @@
-type counter = { c_name : string; mutable c_value : int }
+(* Domain-safety: counters and gauges are single [Atomic.t] cells
+   (gauges use [nan] as the unset sentinel), histograms serialise their
+   bucket updates behind a per-histogram mutex, and the intern tables
+   plus [snapshot]/[reset] run under one registry mutex.  [enabled]
+   stays a plain [bool ref]: it is written once at startup, before any
+   worker domain exists, and hot paths want the single-load read. *)
 
-type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+type counter = { c_name : string; c_value : int Atomic.t }
 
-type histogram = { h_name : string; h_dist : Histogram.t }
+type gauge = { g_name : string; g_value : float option Atomic.t (* [None] = never set *) }
+
+type histogram = { h_name : string; h_lock : Mutex.t; h_dist : Histogram.t }
 
 let enabled = ref false
 
 let set_enabled b = enabled := b
 
 let is_enabled () = !enabled
+
+let registry_lock = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
@@ -19,56 +28,68 @@ let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let spans : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let intern tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some m -> m
-  | None ->
-    let m = make name in
-    Hashtbl.add tbl name m;
-    m
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt tbl name with
+    | Some m -> m
+    | None ->
+      let m = make name in
+      Hashtbl.add tbl name m;
+      m
+  in
+  Mutex.unlock registry_lock;
+  m
 
-let counter name = intern counters name (fun c_name -> { c_name; c_value = 0 })
+let counter name = intern counters name (fun c_name -> { c_name; c_value = Atomic.make 0 })
 
-let gauge name = intern gauges name (fun g_name -> { g_name; g_value = 0.0; g_set = false })
+let gauge name = intern gauges name (fun g_name -> { g_name; g_value = Atomic.make None })
 
-let make_histogram h_name = { h_name; h_dist = Histogram.create () }
+let make_histogram h_name = { h_name; h_lock = Mutex.create (); h_dist = Histogram.create () }
 
 let histogram name = intern histograms name make_histogram
 
 let span name = intern spans name make_histogram
 
-let incr c = if !enabled then c.c_value <- c.c_value + 1
+let incr c = if !enabled then ignore (Atomic.fetch_and_add c.c_value 1)
 
-let add c n = if !enabled then c.c_value <- c.c_value + n
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c.c_value n)
 
-let counter_value c = c.c_value
+let counter_value c = Atomic.get c.c_value
 
-let set g v =
+let set g v = if !enabled then Atomic.set g.g_value (Some v)
+
+let rec set_max g v =
   if !enabled then begin
-    g.g_value <- v;
-    g.g_set <- true
+    let cur = Atomic.get g.g_value in
+    match cur with
+    | Some c when not (v > c) -> ()
+    | _ -> if not (Atomic.compare_and_set g.g_value cur (Some v)) then set_max g v
   end
 
-let set_max g v =
-  if !enabled && ((not g.g_set) || v > g.g_value) then begin
-    g.g_value <- v;
-    g.g_set <- true
-  end
+let gauge_value g = match Atomic.get g.g_value with None -> 0.0 | Some v -> v
 
-let gauge_value g = g.g_value
+let locked_observe h v =
+  Mutex.lock h.h_lock;
+  Histogram.observe h.h_dist v;
+  Mutex.unlock h.h_lock
 
-let observe h v = if !enabled then Histogram.observe h.h_dist v
+let observe h v = if !enabled then locked_observe h v
 
-let observe_always h v = Histogram.observe h.h_dist v
+let observe_always h v = locked_observe h v
+
+let with_histogram h f =
+  Mutex.lock h.h_lock;
+  let r = f h.h_dist in
+  Mutex.unlock h.h_lock;
+  r
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ g ->
-      g.g_value <- 0.0;
-      g.g_set <- false)
-    gauges;
-  Hashtbl.iter (fun _ h -> Histogram.clear h.h_dist) histograms;
-  Hashtbl.iter (fun _ h -> Histogram.clear h.h_dist) spans
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_value None) gauges;
+  Hashtbl.iter (fun _ h -> with_histogram h Histogram.clear) histograms;
+  Hashtbl.iter (fun _ h -> with_histogram h Histogram.clear) spans;
+  Mutex.unlock registry_lock
 
 type dist_stat = {
   count : int;
@@ -101,22 +122,35 @@ let dist_stat d =
   }
 
 let snapshot () =
+  Mutex.lock registry_lock;
   let live_dists tbl =
     Hashtbl.fold
       (fun name h acc ->
-        if Histogram.count h.h_dist > 0 then (name, dist_stat h.h_dist) :: acc else acc)
+        let stat = with_histogram h (fun d -> if Histogram.count d > 0 then Some (dist_stat d) else None) in
+        match stat with Some s -> (name, s) :: acc | None -> acc)
       tbl []
     |> List.sort by_name
   in
-  {
-    counters =
-      Hashtbl.fold
-        (fun name c acc -> if c.c_value <> 0 then (name, c.c_value) :: acc else acc)
-        counters []
-      |> List.sort by_name;
-    gauges =
-      Hashtbl.fold (fun name g acc -> if g.g_set then (name, g.g_value) :: acc else acc) gauges []
-      |> List.sort by_name;
-    histograms = live_dists histograms;
-    spans = live_dists spans;
-  }
+  let snap =
+    {
+      counters =
+        Hashtbl.fold
+          (fun name c acc ->
+            let v = Atomic.get c.c_value in
+            if v <> 0 then (name, v) :: acc else acc)
+          counters []
+        |> List.sort by_name;
+      gauges =
+        Hashtbl.fold
+          (fun name g acc ->
+            match Atomic.get g.g_value with
+            | Some v -> (name, v) :: acc
+            | None -> acc)
+          gauges []
+        |> List.sort by_name;
+      histograms = live_dists histograms;
+      spans = live_dists spans;
+    }
+  in
+  Mutex.unlock registry_lock;
+  snap

@@ -11,7 +11,14 @@
 
     All mutation is gated on {!enabled} (default [false]): a disabled
     registry costs one load and one branch per call site and records
-    nothing, so instrumentation can stay in place permanently. *)
+    nothing, so instrumentation can stay in place permanently.
+
+    Every operation is domain-safe: counters and gauges are atomic
+    cells, histogram updates are serialised per histogram, and the
+    intern tables, {!snapshot} and {!reset} run under a registry lock.
+    Concurrent increments from worker domains are never lost.  The one
+    exception is {!enabled} itself — flip it once at startup, before
+    spawning domains. *)
 
 type counter
 

@@ -1,18 +1,24 @@
-let stack : string list ref = ref []
+(* The active-span stack is domain-local: each domain traces its own
+   nesting, and the shared span histograms behind
+   [Registry.observe_always] serialise concurrent observations. *)
+
+let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let with_span name f =
   if not !Registry.enabled then f ()
   else begin
     let h = Registry.span name in
     let t0 = Unix.gettimeofday () in
-    stack := name :: !stack;
+    Domain.DLS.set stack_key (name :: Domain.DLS.get stack_key);
     Fun.protect
       ~finally:(fun () ->
-        (match !stack with [] -> () | _ :: rest -> stack := rest);
+        (match Domain.DLS.get stack_key with
+         | [] -> ()
+         | _ :: rest -> Domain.DLS.set stack_key rest);
         Registry.observe_always h (Unix.gettimeofday () -. t0))
       f
   end
 
-let current () = !stack
+let current () = Domain.DLS.get stack_key
 
-let depth () = List.length !stack
+let depth () = List.length (current ())

@@ -418,3 +418,317 @@ let test_problem_introspection () =
 let introspection_suite = [ Alcotest.test_case "problem introspection" `Quick test_problem_introspection ]
 
 let suite = suite @ introspection_suite
+
+(* --- flat-layout parity: row-major rewrite vs the Matrix tableau ----- *)
+
+(* Verbatim core of the previous Matrix-backed Tableau (telemetry
+   stripped).  The flat rewrite claims *bit-identical* floats, not just
+   equal optima, because it preserves the order of every float op; this
+   reference pins that claim against the old layout. *)
+module Ref_tableau = struct
+  type result =
+    | Optimal of { x : Vector.t; objective : float; duals : Vector.t }
+    | Unbounded
+    | Infeasible
+
+  let eps = 1e-9
+
+  type tab = {
+    mutable t : Matrix.t;
+    m : int;
+    mutable ncols : int;
+    mutable cap : int;
+    basis : int array;
+    n_struct : int;
+    n_art : int;
+  }
+
+  let rhs tab i = Matrix.get tab.t i tab.cap
+  let reduced_cost tab j = Matrix.get tab.t tab.m j
+  let is_artificial tab j = j >= tab.n_struct && j < tab.n_struct + tab.n_art
+
+  let price_out tab =
+    for i = 0 to tab.m - 1 do
+      let j = tab.basis.(i) in
+      let r = reduced_cost tab j in
+      if Float.abs r > 0.0 then Matrix.add_scaled_row tab.t ~src:i ~dst:tab.m (-.r)
+    done
+
+  let pivot tab ~row ~col =
+    let p = Matrix.get tab.t row col in
+    Matrix.scale_row tab.t row (1.0 /. p);
+    for i = 0 to tab.m do
+      if i <> row then begin
+        let coeff = Matrix.get tab.t i col in
+        if Float.abs coeff > 0.0 then Matrix.add_scaled_row tab.t ~src:row ~dst:i (-.coeff)
+      end
+    done;
+    tab.basis.(row) <- col
+
+  let entering tab ~allowed ~bland =
+    if bland then begin
+      let found = ref None in
+      (try
+         for j = 0 to tab.ncols - 1 do
+           if allowed j && reduced_cost tab j < -.eps then begin
+             found := Some j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !found
+    end
+    else begin
+      let best = ref None in
+      for j = 0 to tab.ncols - 1 do
+        if allowed j then begin
+          let r = reduced_cost tab j in
+          if r < -.eps then
+            match !best with Some (_, rb) when rb <= r -> () | _ -> best := Some (j, r)
+        end
+      done;
+      Option.map fst !best
+    end
+
+  let leaving tab ~col =
+    let best = ref None in
+    for i = 0 to tab.m - 1 do
+      let a = Matrix.get tab.t i col in
+      if a > eps then begin
+        let ratio = rhs tab i /. a in
+        match !best with
+        | None -> best := Some (i, ratio)
+        | Some (bi, br) ->
+          if ratio < br -. eps || (ratio < br +. eps && tab.basis.(i) < tab.basis.(bi)) then
+            best := Some (i, ratio)
+      end
+    done;
+    Option.map fst !best
+
+  type phase_outcome = Finished | Unbounded_phase
+
+  let optimise tab ~allowed =
+    let max_iters = 200 * (tab.m + tab.ncols + 10) in
+    let bland_after = 20 * (tab.m + tab.ncols + 10) in
+    let rec loop iter =
+      if iter > max_iters then failwith "Ref_tableau.optimise: iteration cap exceeded";
+      match entering tab ~allowed ~bland:(iter > bland_after) with
+      | None -> Finished
+      | Some col -> (
+        match leaving tab ~col with
+        | None -> Unbounded_phase
+        | Some row ->
+          pivot tab ~row ~col;
+          loop (iter + 1))
+    in
+    loop 0
+
+  type state = {
+    tab : tab;
+    n : int;
+    first_appended : int;
+    flip : float array;
+    sig_col : int array;
+    mutable appended : int;
+  }
+
+  let extract st =
+    let tab = st.tab in
+    let x = Vector.zeros (st.n + st.appended) in
+    for i = 0 to tab.m - 1 do
+      let j = tab.basis.(i) in
+      if j < st.n then x.(j) <- rhs tab i
+      else if j >= st.first_appended then x.(st.n + (j - st.first_appended)) <- rhs tab i
+    done;
+    let duals = Vector.init tab.m (fun i -> st.flip.(i) *. Matrix.get tab.t tab.m st.sig_col.(i)) in
+    Optimal { x; objective = Matrix.get tab.t tab.m tab.cap; duals }
+
+  let solve_raw ~a ~b ~c ~senses =
+    let m = Matrix.rows a in
+    let n = Matrix.cols a in
+    let rows = Array.init m (fun i -> Matrix.row a i) in
+    let rhs0 = Array.init m (fun i -> b.(i)) in
+    let senses = Array.copy senses in
+    let flip = Array.make m 1.0 in
+    for i = 0 to m - 1 do
+      if rhs0.(i) < 0.0 || (rhs0.(i) = 0.0 && senses.(i) = Types.Ge) then begin
+        rows.(i) <- Vector.scale (-1.0) rows.(i);
+        rhs0.(i) <- (if rhs0.(i) = 0.0 then 0.0 else -.rhs0.(i));
+        flip.(i) <- -1.0;
+        senses.(i) <-
+          (match senses.(i) with Types.Le -> Types.Ge | Types.Ge -> Types.Le | Types.Eq -> Types.Eq)
+      end
+    done;
+    let n_slack =
+      Array.fold_left (fun k s -> match s with Types.Le | Types.Ge -> k + 1 | Types.Eq -> k) 0 senses
+    in
+    let n_art =
+      Array.fold_left (fun k s -> match s with Types.Ge | Types.Eq -> k + 1 | Types.Le -> k) 0 senses
+    in
+    let n_struct = n + n_slack in
+    let ncols = n_struct + n_art in
+    let t = Matrix.zeros (m + 1) (ncols + 1) in
+    let basis = Array.make m (-1) in
+    let slack_cursor = ref n in
+    let art_cursor = ref n_struct in
+    let sig_col = Array.make m (-1) in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        Matrix.set t i j rows.(i).(j)
+      done;
+      Matrix.set t i ncols rhs0.(i);
+      (match senses.(i) with
+       | Types.Le ->
+         Matrix.set t i !slack_cursor 1.0;
+         basis.(i) <- !slack_cursor;
+         sig_col.(i) <- !slack_cursor;
+         incr slack_cursor
+       | Types.Ge ->
+         Matrix.set t i !slack_cursor (-1.0);
+         incr slack_cursor;
+         Matrix.set t i !art_cursor 1.0;
+         basis.(i) <- !art_cursor;
+         sig_col.(i) <- !art_cursor;
+         incr art_cursor
+       | Types.Eq ->
+         Matrix.set t i !art_cursor 1.0;
+         basis.(i) <- !art_cursor;
+         sig_col.(i) <- !art_cursor;
+         incr art_cursor)
+    done;
+    let tab = { t; m; ncols; cap = ncols; basis; n_struct; n_art } in
+    if n_art > 0 then begin
+      for j = n_struct to ncols - 1 do
+        Matrix.set t m j 1.0
+      done;
+      price_out tab;
+      (match optimise tab ~allowed:(fun j -> j < tab.ncols) with
+       | Unbounded_phase -> failwith "Ref_tableau.solve: phase 1 unbounded (impossible)"
+       | Finished -> ());
+      let phase1_value = -.rhs tab m in
+      if phase1_value > 1e-7 then raise Exit
+    end;
+    for i = 0 to m - 1 do
+      if is_artificial tab tab.basis.(i) then begin
+        let found = ref None in
+        for j = 0 to n_struct - 1 do
+          if !found = None && Float.abs (Matrix.get t i j) > eps then found := Some j
+        done;
+        match !found with Some j -> pivot tab ~row:i ~col:j | None -> ()
+      end
+    done;
+    for j = 0 to tab.cap do
+      Matrix.set t m j 0.0
+    done;
+    for j = 0 to n - 1 do
+      Matrix.set t m j (-.c.(j))
+    done;
+    price_out tab;
+    let st = { tab; n; first_appended = n_struct + n_art; flip; sig_col; appended = 0 } in
+    match optimise tab ~allowed:(fun j -> not (is_artificial tab j)) with
+    | Unbounded_phase -> (Unbounded, None)
+    | Finished -> (extract st, Some st)
+
+  let solve_open ~a ~b ~c ~senses = try solve_raw ~a ~b ~c ~senses with Exit -> (Infeasible, None)
+
+  let add_column st ~coeffs ~cost =
+    let tab = st.tab in
+    if tab.ncols >= tab.cap then begin
+      let cap' = (2 * tab.cap) + 8 in
+      let t' = Matrix.zeros (tab.m + 1) (cap' + 1) in
+      for i = 0 to tab.m do
+        for j = 0 to tab.ncols - 1 do
+          Matrix.set t' i j (Matrix.get tab.t i j)
+        done;
+        Matrix.set t' i cap' (Matrix.get tab.t i tab.cap)
+      done;
+      tab.t <- t';
+      tab.cap <- cap'
+    end;
+    let j = tab.ncols in
+    tab.ncols <- j + 1;
+    let a' = Array.make tab.m 0.0 in
+    List.iter
+      (fun (i, v) ->
+        if i < 0 || i >= tab.m then invalid_arg "Ref_tableau.add_column: row out of range";
+        a'.(i) <- a'.(i) +. (st.flip.(i) *. v))
+      coeffs;
+    for i = 0 to tab.m - 1 do
+      if a'.(i) <> 0.0 then begin
+        let s = st.sig_col.(i) in
+        for r = 0 to tab.m do
+          Matrix.set tab.t r j (Matrix.get tab.t r j +. (a'.(i) *. Matrix.get tab.t r s))
+        done
+      end
+    done;
+    Matrix.set tab.t tab.m j (Matrix.get tab.t tab.m j -. cost);
+    let xi = st.n + st.appended in
+    st.appended <- st.appended + 1;
+    xi
+
+  let reoptimize st =
+    let tab = st.tab in
+    match optimise tab ~allowed:(fun j -> not (is_artificial tab j)) with
+    | Unbounded_phase -> Unbounded
+    | Finished -> extract st
+end
+
+let results_bit_identical r_new r_old =
+  match (r_new, r_old) with
+  | Tableau.Unbounded, Ref_tableau.Unbounded -> true
+  | Tableau.Infeasible, Ref_tableau.Infeasible -> true
+  | ( Tableau.Optimal { x; objective; duals },
+      Ref_tableau.Optimal { x = rx; objective = robj; duals = rduals } ) ->
+    Float.equal objective robj
+    && Array.length x = Array.length rx
+    && Array.for_all2 Float.equal x rx
+    && Array.for_all2 Float.equal duals rduals
+  | _ -> false
+
+let parity_gen =
+  QCheck.Gen.(
+    let coeff = float_range (-3.0) 4.0 in
+    tup4
+      (array_size (return 3) (array_size (return 3) coeff))
+      (array_size (return 3) (float_range (-4.0) 8.0))
+      (array_size (return 3) (oneofl [ Types.Le; Types.Ge; Types.Eq ]))
+      (array_size (return 3) coeff))
+
+let qcheck_flat_parity_solve =
+  (* Mixed senses and negative right-hand sides exercise phase 1, row
+     flips and the artificial drive-out on both layouts. *)
+  QCheck.Test.make ~name:"flat tableau bit-identical to Matrix layout" ~count:500
+    (QCheck.make parity_gen) (fun (rows, b, senses, c) ->
+      let a = Matrix.of_rows rows in
+      results_bit_identical (Tableau.solve ~a ~b ~c ~senses)
+        (fst (Ref_tableau.solve_open ~a ~b ~c ~senses)))
+
+let qcheck_flat_parity_warm =
+  (* The warm path covers add_column's grow-and-blit (appending 9
+     columns forces at least one reallocation on both layouts). *)
+  QCheck.Test.make ~name:"warm add_column/reoptimize bit-identical to Matrix layout" ~count:200
+    (QCheck.make parity_gen) (fun (rows, b, senses, c) ->
+      let a = Matrix.of_rows rows in
+      match (Tableau.solve_open ~a ~b ~c ~senses, Ref_tableau.solve_open ~a ~b ~c ~senses) with
+      | (_, Some st_new), (_, Some st_old) ->
+        let ok = ref true in
+        for k = 0 to 8 do
+          let coeffs = [ (0, 1.0 +. float_of_int k); (2, -0.5) ] in
+          let cost = 1.0 +. (0.25 *. float_of_int k) in
+          let i_new = Tableau.add_column st_new ~coeffs ~cost in
+          let i_old = Ref_tableau.add_column st_old ~coeffs ~cost in
+          if i_new <> i_old then ok := false;
+          if not (results_bit_identical (Tableau.reoptimize st_new) (Ref_tableau.reoptimize st_old))
+          then ok := false
+        done;
+        !ok
+      | (_, None), (_, None) -> true
+      | _ -> false)
+
+let parity_suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_flat_parity_solve;
+    QCheck_alcotest.to_alcotest qcheck_flat_parity_warm;
+  ]
+
+let suite = suite @ parity_suite

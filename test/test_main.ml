@@ -21,6 +21,11 @@ let () =
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
       ("engine", Test_engine.suite);
+      (* Anything that spawns a domain must come after [engine]: OCaml 5
+         forbids Unix.fork once any domain has ever been created, and
+         the engine suite exercises the forked pool. *)
+      ("parallel", Test_parallel.suite);
+      ("telemetry-domains", Test_telemetry.domain_suite);
       ("joint", Test_joint.suite);
       ("column-gen", Test_column_gen.suite);
     ]

@@ -346,6 +346,36 @@ let scenario_ii_counts_pivots () =
       check Alcotest.bool "lp.solve latency recorded" true
         (solve.Registry.count > 0 && solve.Registry.sum > 0.0))
 
+(* --- domain safety: concurrent increments must not be lost ----------- *)
+
+let two_domain_hammer () =
+  with_registry (fun () ->
+      let n = 100_000 in
+      let c = Registry.counter "hammer.count" in
+      let g = Registry.gauge "hammer.max" in
+      let h = Registry.histogram "hammer.obs" in
+      let work lo =
+        for i = lo to lo + n - 1 do
+          Registry.incr c;
+          Registry.set_max g (float_of_int i);
+          if i land 1023 = 0 then Registry.observe h (float_of_int i)
+        done
+      in
+      (* One spawned domain plus this one, hammering the same
+         instruments: atomics must not lose increments, the CAS max
+         must win over any interleaving, and the mutexed histogram
+         must record every observation. *)
+      let d = Domain.spawn (fun () -> work 0) in
+      work n;
+      Domain.join d;
+      check Alcotest.int "no lost increments" (2 * n) (Registry.counter_value c);
+      check (Alcotest.float 0.0) "set_max saw the global max"
+        (float_of_int ((2 * n) - 1))
+        (Registry.gauge_value g);
+      let snap = Registry.snapshot () in
+      let dist = List.assoc "hammer.obs" snap.Registry.histograms in
+      check Alcotest.int "no lost observations" (2 * ((n + 1023) / 1024)) dist.Registry.count)
+
 let suite =
   [
     Alcotest.test_case "registry counters and gauges" `Quick registry_counters_gauges;
@@ -359,3 +389,8 @@ let suite =
     Alcotest.test_case "json empty snapshot" `Quick json_empty_snapshot;
     Alcotest.test_case "scenario II solve counts pivots" `Quick scenario_ii_counts_pivots;
   ]
+
+(* Registered separately, after the engine suite: spawning a domain
+   forbids Unix.fork for the rest of the process (OCaml 5), and the
+   engine suite forks. *)
+let domain_suite = [ Alcotest.test_case "two-domain hammer" `Quick two_domain_hammer ]
