@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke clean
 
 all:
 	dune build
@@ -13,6 +13,7 @@ check:
 	dune runtest
 	$(MAKE) sweep-smoke
 	$(MAKE) parallel-smoke
+	$(MAKE) mac-smoke
 
 # Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
 # -j2, asserting the exit-code policy, journal contents, warm-cache
@@ -50,6 +51,18 @@ bench-parallel:
 # of `make check`.
 parallel-smoke:
 	dune exec bench/main.exe -- --parallel-quick --parallel-out BENCH_parallel_quick.json
+
+# MAC-simulator suite: the event-driven fast path vs the retained
+# reference loop on a saturated and a lightly loaded scenario.
+# Byte-identity of the stats is always gated; so are the speedups
+# (>= 1.3x saturated, >= 3x light — idle-skipping's headline case).
+bench-mac:
+	dune exec bench/main.exe -- --mac --mac-out BENCH_mac.json
+
+# Same suite with reduced horizons — the identity gate in seconds; part
+# of `make check`.
+mac-smoke:
+	dune exec bench/main.exe -- --mac-quick --mac-out BENCH_mac_quick.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

@@ -607,6 +607,125 @@ let parallel_bench ~quick ~out () =
   end;
   if !failed then exit 1
 
+(* --- mac suite: event-driven fast path vs reference slot loop -------- *)
+
+module Sim = Wsn_mac.Sim
+
+(* Hex floats: byte-identity of the two loops is the claim, so the
+   artifact must not round anything away. *)
+let mac_artifact stats_list =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (s : Sim.stats) ->
+      Printf.bprintf buf "run %d sent %d coll %d\n" s.Sim.duration_us s.Sim.frames_sent
+        s.Sim.collisions;
+      Array.iter (fun i -> Printf.bprintf buf "idle %h\n" i) s.Sim.node_idleness;
+      Array.iter
+        (fun (f : Sim.flow_stats) ->
+          Printf.bprintf buf "flow %h %h %d %d %h %h\n" f.Sim.offered_mbps f.Sim.delivered_mbps
+            f.Sim.frames_delivered f.Sim.frames_dropped f.Sim.mean_latency_us f.Sim.p95_latency_us)
+        s.Sim.flows)
+    stats_list;
+  Buffer.contents buf
+
+(* Saturated: eight co-located sender/receiver pairs at far beyond link
+   capacity — every slot has contenders, so idle-skipping never fires
+   and the win must come from bitsets and allocation-freedom alone. *)
+let mac_scenario_saturated () =
+  let n_pairs = 8 in
+  let positions =
+    Array.init (2 * n_pairs) (fun i ->
+        if i < n_pairs then Wsn_net.Point.make (float_of_int i *. 2.0) 0.0
+        else Wsn_net.Point.make (float_of_int (i - n_pairs) *. 2.0) 50.0)
+  in
+  let topo = Wsn_net.Topology.create positions in
+  let flows =
+    List.init n_pairs (fun i ->
+        match
+          Wsn_graph.Digraph.find_edge (Wsn_net.Topology.graph topo) ~src:i ~dst:(i + n_pairs)
+        with
+        | Some e -> { Sim.links = [ e.Wsn_graph.Digraph.id ]; demand_mbps = 80.0 }
+        | None -> failwith "mac bench: missing pair link")
+  in
+  (topo, flows)
+
+(* Light load: a multihop chain mostly sitting idle between frames —
+   the idle-skip headline case. *)
+let mac_scenario_light () =
+  let topo = Wsn_net.Builders.chain ~spacing_m:50.0 8 in
+  let flows = [ { Sim.links = Wsn_net.Builders.chain_hop_links topo; demand_mbps = 0.5 } ] in
+  (topo, flows)
+
+let mac_bench ~quick ~out () =
+  let seeds = [ 1L; 2L; 3L ] in
+  Printf.printf "mac suite: %s mode, %d seeds per scenario\n%!"
+    (if quick then "quick" else "full")
+    (List.length seeds);
+  let scenario name (topo, flows) ~duration_us =
+    (* Both arms timed with telemetry off (the shipped configuration);
+       a separate untimed fast run collects the skip counter. *)
+    let time runner =
+      let t0 = Unix.gettimeofday () in
+      let r = List.map (fun seed -> runner ~seed) seeds in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let prepared = Sim.prepare topo in
+    let fast, wall_fast =
+      time (fun ~seed -> Sim.run ~seed ~prepared topo ~flows ~duration_us)
+    in
+    let reference, wall_ref =
+      time (fun ~seed -> Sim.run_reference ~seed topo ~flows ~duration_us)
+    in
+    let identical = String.equal (mac_artifact fast) (mac_artifact reference) in
+    Registry.reset ();
+    Registry.set_enabled true;
+    ignore (Sim.run ~seed:1L ~prepared topo ~flows ~duration_us);
+    let snap = Registry.snapshot () in
+    Registry.set_enabled false;
+    Registry.reset ();
+    let counter n = match List.assoc_opt n snap.Registry.counters with Some v -> v | None -> 0 in
+    let skipped = counter "mac.slots_skipped" in
+    let total_slots = counter "mac.slots" in
+    let speedup = wall_ref /. Float.max 1e-9 wall_fast in
+    Printf.printf "  %-9s fast %.3fs, reference %.3fs: %.1fx; identical %b; skipped %d/%d slots\n%!"
+      name wall_fast wall_ref speedup identical skipped total_slots;
+    (name, duration_us, wall_fast, wall_ref, speedup, identical, skipped, total_slots)
+  in
+  let sat =
+    scenario "saturated" (mac_scenario_saturated ())
+      ~duration_us:(if quick then 300_000 else 1_000_000)
+  in
+  let light =
+    scenario "light" (mac_scenario_light ())
+      ~duration_us:(if quick then 1_000_000 else 4_000_000)
+  in
+  let scenario_json (name, duration_us, wf, wr, speedup, identical, skipped, total) =
+    Printf.sprintf
+      "\"%s\": {\"duration_us\": %d, \"seeds\": %d, \"wall_fast_s\": %.6f,\n\
+      \    \"wall_reference_s\": %.6f, \"speedup\": %.3f, \"outputs_identical\": %b,\n\
+      \    \"slots_skipped\": %d, \"total_slots\": %d}"
+      name duration_us (List.length seeds) wf wr speedup identical skipped total
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  %s,\n  %s\n}\n" quick (scenario_json sat)
+    (scenario_json light);
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let failed = ref false in
+  let gate (name, _, _, _, speedup, identical, _, _) ~min_speedup =
+    if not identical then begin
+      Printf.eprintf "MAC FAIL: %s fast-path outputs differ from the reference loop\n" name;
+      failed := true
+    end;
+    if speedup < min_speedup then begin
+      Printf.eprintf "MAC FAIL: %s speedup %.2fx < %.1fx\n" name speedup min_speedup;
+      failed := true
+    end
+  in
+  gate sat ~min_speedup:1.3;
+  gate light ~min_speedup:3.0;
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -629,6 +748,9 @@ let () =
   let parallel_mode = ref false in
   let parallel_quick = ref false in
   let parallel_out = ref "BENCH_parallel.json" in
+  let mac_mode = ref false in
+  let mac_quick = ref false in
+  let mac_out = ref "BENCH_mac.json" in
   Arg.parse
     [
       ( "--seed",
@@ -651,9 +773,16 @@ let () =
       ("--parallel", Arg.Set parallel_mode, " run the domain-pool parallel suite (1/2/4 domains, determinism + speedup)");
       ("--parallel-quick", Arg.Unit (fun () -> parallel_mode := true; parallel_quick := true), " parallel suite, reduced workload");
       ("--parallel-out", Arg.Set_string parallel_out, "FILE parallel report path (default BENCH_parallel.json)");
+      ("--mac", Arg.Set mac_mode, " run the MAC simulator suite (event-driven fast path vs reference loop)");
+      ("--mac-quick", Arg.Unit (fun () -> mac_mode := true; mac_quick := true), " mac suite, reduced horizons");
+      ("--mac-out", Arg.Set_string mac_out, "FILE mac report path (default BENCH_mac.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE]";
+    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE] [--mac|--mac-quick] [--mac-out FILE]";
+  if !mac_mode then begin
+    mac_bench ~quick:!mac_quick ~out:!mac_out ();
+    exit 0
+  end;
   if !parallel_mode then begin
     parallel_bench ~quick:!parallel_quick ~out:!parallel_out ();
     exit 0

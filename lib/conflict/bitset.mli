@@ -40,6 +40,12 @@ val union_into : dst:t -> t -> unit
 val iter : (int -> unit) -> t -> unit
 (** Members in ascending order. *)
 
+val iter_union : (int -> unit) -> t -> t -> unit
+(** [iter_union f a b] applies [f] to every member of [a] ∪ [b] in
+    ascending order, without materialising the union.  The MAC
+    simulator's busy-time accounting walks transmitting ∪ sensed-busy
+    this way every slot. *)
+
 val to_list : t -> int list
 (** Members, ascending. *)
 

@@ -44,9 +44,12 @@ module Rts_cts = struct
     let specs =
       List.map (fun f -> { Sim.links = Flow.links f; demand_mbps = f.Flow.demand_mbps }) background
     in
+    (* One prepared kernel serves both config arms: the channel
+       geometry does not depend on the DCF parameters. *)
+    let prepared = Sim.prepare scenario.RS.topology in
     List.map
       (fun (label, config) ->
-        let stats = Sim.run ~config scenario.RS.topology ~flows:specs ~duration_us in
+        let stats = Sim.run ~config ~prepared scenario.RS.topology ~flows:specs ~duration_us in
         let latencies =
           Array.to_list stats.Sim.flows
           |> List.filter_map (fun (f : Sim.flow_stats) ->

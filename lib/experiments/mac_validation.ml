@@ -44,7 +44,8 @@ let compute ?(seed = 30L) ?(duration_us = 2_000_000) ?(replications = 1) () =
      figures are averaged across replications in seed order. *)
   if replications < 1 then invalid_arg "Mac_validation.compute: replications must be >= 1";
   let seeds = List.init replications (fun i -> Int64.of_int (i + 1)) in
-  let all_stats = Sim.run_replications ~seeds topo ~flows:specs ~duration_us in
+  let prepared = Sim.prepare topo in
+  let all_stats = Sim.run_replications ~prepared ~seeds topo ~flows:specs ~duration_us in
   let k = float_of_int replications in
   let mean f = List.fold_left (fun acc s -> acc +. f s) 0.0 all_stats /. k in
   let rows =

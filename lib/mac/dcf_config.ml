@@ -32,3 +32,7 @@ let tx_slots t ~rate_mbps =
   let overhead = if t.rts_cts then float_of_int t.rts_cts_overhead_us else 0.0 in
   let airtime_us = (float_of_int t.payload_bits /. rate_mbps) +. overhead in
   int_of_float (Float.ceil (airtime_us /. float_of_int t.slot_us))
+
+let tx_slots_table t rates =
+  Array.init (Wsn_radio.Rate.n_rates rates) (fun r ->
+      tx_slots t ~rate_mbps:(Wsn_radio.Rate.mbps rates r))

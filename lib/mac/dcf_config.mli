@@ -29,3 +29,9 @@ val tx_slots : t -> rate_mbps:float -> int
     ([payload_bits] / rate; 1 Mbit/s = 1 bit/µs), plus the RTS/CTS
     overhead when enabled.
     @raise Invalid_argument if [rate_mbps <= 0]. *)
+
+val tx_slots_table : t -> Wsn_radio.Rate.table -> int array
+(** [tx_slots_table t rates] is {!tx_slots} precomputed for every rate
+    of the table, indexed by {!Wsn_radio.Rate.t} — the simulator's fast
+    path replaces a per-transmission float division and ceiling with
+    one array load. *)

@@ -1,6 +1,11 @@
 type 'a entry = { time : int; seq : int; payload : 'a }
 
-type 'a t = { mutable heap : 'a entry array; mutable n : int; mutable next_seq : int }
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable n : int;
+  mutable next_seq : int;
+  mutable hwm : int;  (* local high-water mark: gates the gauge update *)
+}
 
 module Telemetry = Wsn_telemetry.Registry
 
@@ -10,7 +15,7 @@ let m_queue_hwm = Telemetry.gauge "mac.queue_depth_hwm"
 
 let dummy payload = { time = 0; seq = 0; payload }
 
-let create () = { heap = [||]; n = 0; next_seq = 0 }
+let create () = { heap = [||]; n = 0; next_seq = 0; hwm = 0 }
 
 let is_empty q = q.n = 0
 
@@ -53,7 +58,12 @@ let schedule q ~time payload =
   q.heap.(q.n) <- { time; seq = q.next_seq; payload };
   q.next_seq <- q.next_seq + 1;
   q.n <- q.n + 1;
-  Telemetry.set_max m_queue_hwm (float_of_int q.n);
+  (* The gauge is a CAS loop; only touch it when this queue actually
+     grows past its own high-water mark, not on every schedule. *)
+  if q.n > q.hwm then begin
+    q.hwm <- q.n;
+    Telemetry.set_max m_queue_hwm (float_of_int q.n)
+  end;
   sift_up q (q.n - 1)
 
 let next_time q = if q.n = 0 then None else Some q.heap.(0).time
@@ -71,11 +81,20 @@ let pop q =
     Some (top.time, top.payload)
   end
 
+let rec drain_until q ~time f =
+  if q.n > 0 && q.heap.(0).time <= time then begin
+    let top = q.heap.(0) in
+    Telemetry.incr m_events;
+    q.n <- q.n - 1;
+    if q.n > 0 then begin
+      q.heap.(0) <- q.heap.(q.n);
+      sift_down q 0
+    end;
+    f top.time top.payload;
+    drain_until q ~time f
+  end
+
 let pop_until q ~time =
-  let rec drain acc =
-    match next_time q with
-    | Some t when t <= time -> (
-      match pop q with Some e -> drain (e :: acc) | None -> assert false)
-    | Some _ | None -> List.rev acc
-  in
-  drain []
+  let acc = ref [] in
+  drain_until q ~time (fun t payload -> acc := (t, payload) :: !acc);
+  List.rev !acc

@@ -26,6 +26,15 @@ val next_time : 'a t -> int option
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event (FIFO among equal times). *)
 
+val drain_until : 'a t -> time:int -> (int -> 'a -> unit) -> unit
+(** [drain_until q ~time f] pops every event with time at most [time],
+    in order, calling [f time payload] on each — no list is built, so
+    the empty and common few-event cases allocate nothing.  Events
+    scheduled from inside [f] at or before [time] are drained by the
+    same call; callers that must not see same-batch reschedules (the
+    simulator's arrival loop) collect payloads first and schedule
+    afterwards. *)
+
 val pop_until : 'a t -> time:int -> (int * 'a) list
 (** [pop_until q ~time] removes and returns, in order, every event with
-    time at most [time]. *)
+    time at most [time].  Implemented on {!drain_until}. *)

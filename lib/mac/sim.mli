@@ -18,7 +18,12 @@
       for free.  This idealisation does not affect the sensed-idleness
       measurement, which only depends on data-frame airtime.
 
-    Everything is deterministic in the seed. *)
+    Everything is deterministic in the seed.  {!run} is the production
+    loop — event-driven, bitset carrier sensing, idle-slot skipping,
+    allocation-free per slot; {!run_reference} is the original
+    slot-stepping loop kept as the behavioural oracle.  Both produce
+    byte-identical {!stats} (pinned by the QCheck parity suite; the
+    skip-soundness argument is DESIGN.md Appendix E). *)
 
 type flow_spec = {
   links : int list;  (** The flow's route as topology link ids; each link's source must be the previous link's destination. *)
@@ -45,19 +50,46 @@ type stats = {
 val link_idleness : stats -> Wsn_net.Topology.t -> int -> float
 (** Equation 10 on measured data: min of the endpoints' idleness. *)
 
+type prepared
+(** A topology's precomputed channel kernel: pairwise distances and
+    received powers, and per-node carrier-sense neighbourhoods as
+    bitsets.  Immutable once built — share it freely across runs,
+    configurations, seeds and domains. *)
+
+val prepare : Wsn_net.Topology.t -> prepared
+(** [prepare topo] builds the kernel in O(n²) once, so repeated runs on
+    the same topology (replications, config sweeps, benchmarks) skip
+    the quadratic setup. *)
+
 val run :
+  ?config:Dcf_config.t ->
+  ?seed:int64 ->
+  ?prepared:prepared ->
+  Wsn_net.Topology.t ->
+  flows:flow_spec list ->
+  duration_us:int ->
+  stats
+(** [run topo ~flows ~duration_us] simulates the network (default
+    config {!Dcf_config.default}, default seed 1).  Passing [?prepared]
+    (from {!prepare} on the {e same} topology value) reuses the
+    precomputed kernel.
+    @raise Invalid_argument on an invalid route, negative demand, or a
+    [prepared] kernel built from a different topology. *)
+
+val run_reference :
   ?config:Dcf_config.t ->
   ?seed:int64 ->
   Wsn_net.Topology.t ->
   flows:flow_spec list ->
   duration_us:int ->
   stats
-(** [run topo ~flows ~duration_us] simulates the network (default
-    config {!Dcf_config.default}, default seed 1).
-    @raise Invalid_argument on an invalid route or negative demand. *)
+(** The original O(n·active)-per-slot loop, kept as the oracle {!run}
+    is tested against.  Same inputs, byte-identical output, no fast
+    paths — use it for differential testing, not production. *)
 
 val run_replications :
   ?config:Dcf_config.t ->
+  ?prepared:prepared ->
   seeds:int64 list ->
   Wsn_net.Topology.t ->
   flows:flow_spec list ->
@@ -67,4 +99,5 @@ val run_replications :
     simulation per seed on the global domain pool
     ({!Wsn_parallel.Pool.set_domains}), returning the stats in seed
     order — byte-identical to mapping {!run} over [seeds]
-    sequentially, at any pool size. *)
+    sequentially, at any pool size.  The prepared kernel (given or
+    built once here) is shared read-only across domains. *)

@@ -81,6 +81,12 @@ expect_exit 0 "domains-backend sweep succeeds" \
   "$BIN" sweep --seeds 1..2 --n-flows 2 --backend domains -j 2 --no-cache -o "$T/domains.jsonl"
 assert "domains backend byte-identical to fork" cmp -s "$T/cold.jsonl" "$T/domains.jsonl"
 
+# --- MAC simulator: the fast path drives E6, domains stay invisible ---
+expect_exit 0 "e6 runs" "$BIN" e6 --seed 30
+cp "$T/stdout" "$T/e6.txt"
+expect_exit 0 "e6 --domains 2 runs" "$BIN" e6 --seed 30 --domains 2
+assert "e6 --domains 2 == e6 (replication fan-out is invisible)" cmp -s "$T/e6.txt" "$T/stdout"
+
 if [ "$fails" -gt 0 ]; then
   echo "cli_smoke: $fails check(s) failed" >&2
   exit 1

@@ -451,11 +451,32 @@ let qcheck_kernel_inc_add_undo =
           !ok
         end)
 
+let qcheck_bitset_iter_union =
+  (* iter_union must visit exactly the union's members, ascending, each
+     once — it is the MAC simulator's busy-accounting walk. *)
+  QCheck.Test.make ~name:"Bitset.iter_union = union, ascending, no repeats" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 1 130) (int_bound 10_000))
+        (pair (list_of_size Gen.(int_bound 40) (int_bound 129))
+           (list_of_size Gen.(int_bound 40) (int_bound 129))))
+    (fun ((universe, _), (xs, ys)) ->
+      let module B = Wsn_conflict.Bitset in
+      let clip = List.filter (fun v -> v < universe) in
+      let xs = clip xs and ys = clip ys in
+      let a = B.of_list universe xs and b = B.of_list universe ys in
+      let seen = ref [] in
+      B.iter_union (fun v -> seen := v :: !seen) a b;
+      let got = List.rev !seen in
+      let want = List.sort_uniq compare (xs @ ys) in
+      got = want)
+
 let kernel_suite =
   [
     QCheck_alcotest.to_alcotest qcheck_kernel_queries_match_naive;
     QCheck_alcotest.to_alcotest qcheck_kernel_enumeration_matches_naive;
     QCheck_alcotest.to_alcotest qcheck_kernel_inc_add_undo;
+    QCheck_alcotest.to_alcotest qcheck_bitset_iter_union;
   ]
 
 let suite = suite @ kernel_suite

@@ -313,3 +313,158 @@ let saturation_suite =
   ]
 
 let suite = suite @ saturation_suite
+
+(* --- fast-path parity: run vs run_reference --------------------------- *)
+
+(* The event-driven loop must be byte-identical to the reference, so the
+   whole stats record — floats, nans and all — is compared with
+   structural [compare] (which, unlike [=], treats nan as equal to
+   itself). *)
+
+module Pcg32 = Wsn_prng.Pcg32
+
+let stats_equal a b = compare (a : Sim.stats) (b : Sim.stats) = 0
+
+(* A random scenario derived from one integer: topology (3-8 nodes in a
+   350 m box, a per-node x-offset ruling out coincident points), one to
+   four flows over random links — extended to two-hop chains when a
+   continuation link exists — demands spanning idle to saturated, both
+   configs, random sim seed and duration. *)
+let random_parity_case case =
+  let rng = Pcg32.create (Int64.of_int case) in
+  let n = 3 + Pcg32.next_below rng 6 in
+  let positions =
+    Array.init n (fun i ->
+        Point.make
+          (Pcg32.uniform rng 0.0 350.0 +. (0.01 *. float_of_int i))
+          (Pcg32.uniform rng 0.0 350.0))
+  in
+  let topo = Topology.create positions in
+  let n_links = Topology.n_links topo in
+  if n_links = 0 then None
+  else begin
+    let demands = [| 0.0; 0.5; 2.0; 10.0; 60.0 |] in
+    let flows =
+      List.init
+        (1 + Pcg32.next_below rng 4)
+        (fun _ ->
+          let l = Pcg32.next_below rng n_links in
+          let route =
+            if Pcg32.next_below rng 2 = 0 then [ l ]
+            else begin
+              let dst = (Topology.link topo l).Digraph.dst in
+              let cont = ref (-1) in
+              for l2 = n_links - 1 downto 0 do
+                if (Topology.link topo l2).Digraph.src = dst then cont := l2
+              done;
+              if !cont >= 0 then [ l; !cont ] else [ l ]
+            end
+          in
+          { Sim.links = route; demand_mbps = demands.(Pcg32.next_below rng 5) })
+    in
+    let config =
+      if Pcg32.next_below rng 2 = 0 then Dcf_config.default
+      else Dcf_config.with_rts_cts Dcf_config.default
+    in
+    let duration_us = 20_000 + Pcg32.next_below rng 60_001 in
+    let seed = Int64.of_int (1 + Pcg32.next_below rng 1_000_000) in
+    Some (topo, flows, config, duration_us, seed)
+  end
+
+let qcheck_fast_matches_reference =
+  QCheck.Test.make ~name:"fast sim byte-identical to reference" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun case ->
+      match random_parity_case case with
+      | None -> true
+      | Some (topo, flows, config, duration_us, seed) ->
+        stats_equal
+          (Sim.run ~config ~seed topo ~flows ~duration_us)
+          (Sim.run_reference ~config ~seed topo ~flows ~duration_us))
+
+let qcheck_prepared_sharing_is_pure =
+  (* One kernel shared across seeds and both configs changes nothing. *)
+  QCheck.Test.make ~name:"shared prepared kernel changes nothing" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun case ->
+      match random_parity_case case with
+      | None -> true
+      | Some (topo, flows, _, duration_us, seed) ->
+        let prepared = Sim.prepare topo in
+        List.for_all
+          (fun config ->
+            stats_equal
+              (Sim.run ~config ~seed ~prepared topo ~flows ~duration_us)
+              (Sim.run ~config ~seed topo ~flows ~duration_us))
+          [ Dcf_config.default; Dcf_config.with_rts_cts Dcf_config.default ])
+
+let test_prepared_topology_mismatch () =
+  let a = pair_topology () and b = pair_topology () in
+  let prepared = Sim.prepare a in
+  Alcotest.check_raises "foreign kernel rejected"
+    (Invalid_argument "Sim.run: prepared kernel built for a different topology") (fun () ->
+      ignore (Sim.run ~prepared b ~flows:[] ~duration_us:1000))
+
+let test_replications_match_sequential () =
+  (* At the default single-domain pool; test_parallel re-checks this at
+     several pool sizes (domain spawning must wait until after the
+     engine suite's forks). *)
+  let topo = pair_topology () in
+  let l = the_link topo 0 1 in
+  let flows = [ { Sim.links = [ l ]; demand_mbps = 10.0 } ] in
+  let seeds = [ 1L; 2L; 3L ] in
+  let batch = Sim.run_replications ~seeds topo ~flows ~duration_us:200_000 in
+  let sequential = List.map (fun seed -> Sim.run ~seed topo ~flows ~duration_us:200_000) seeds in
+  check Alcotest.bool "replications = sequential map" true
+    (List.for_all2 stats_equal batch sequential)
+
+let test_idle_skip_credits_idleness_exactly () =
+  (* With no traffic every slot is skippable; idleness must come out at
+     exactly 1.0 — bulk credit, not an approximation.  (The companion
+     telemetry test pins mac.slots_skipped = total slots.) *)
+  let topo = pair_topology () in
+  let stats = Sim.run topo ~flows:[] ~duration_us:90_000 in
+  Array.iter
+    (fun idle -> check (Alcotest.float 0.0) "exactly fully idle" 1.0 idle)
+    stats.Sim.node_idleness;
+  (* And with a pause mid-run: one flow whose demand stops generating
+     arrivals long before the horizon still matches the reference's
+     busy accounting slot for slot. *)
+  let l = the_link topo 0 1 in
+  let flows = [ { Sim.links = [ l ]; demand_mbps = 0.5 } ] in
+  let fast = Sim.run topo ~flows ~duration_us:400_000 in
+  let slow = Sim.run_reference topo ~flows ~duration_us:400_000 in
+  check (Alcotest.array (Alcotest.float 0.0)) "bulk busy credit exact" slow.Sim.node_idleness
+    fast.Sim.node_idleness
+
+let test_event_queue_drain_until () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.schedule q ~time:t t) [ 4; 1; 9; 1 ];
+  let seen = ref [] in
+  Event_queue.drain_until q ~time:4 (fun t v -> seen := (t, v) :: !seen);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "drained in order" [ (1, 1); (1, 1); (4, 4) ] (List.rev !seen);
+  check Alcotest.int "later event kept" 1 (Event_queue.size q);
+  (* Events scheduled from inside the callback at or before the horizon
+     are drained by the same call. *)
+  let q2 = Event_queue.create () in
+  Event_queue.schedule q2 ~time:0 0;
+  let hops = ref 0 in
+  Event_queue.drain_until q2 ~time:3 (fun t _ ->
+      incr hops;
+      Event_queue.schedule q2 ~time:(t + 1) 0);
+  check Alcotest.int "same-batch reschedules drained" 4 !hops;
+  check Alcotest.int "first out of horizon kept" 1 (Event_queue.size q2)
+
+let parity_suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_fast_matches_reference;
+    QCheck_alcotest.to_alcotest qcheck_prepared_sharing_is_pure;
+    Alcotest.test_case "prepared topology mismatch" `Quick test_prepared_topology_mismatch;
+    Alcotest.test_case "replications = sequential" `Slow test_replications_match_sequential;
+    Alcotest.test_case "idle skip credits idleness" `Quick test_idle_skip_credits_idleness_exactly;
+    Alcotest.test_case "event queue drain_until" `Quick test_event_queue_drain_until;
+  ]
+
+let suite = suite @ parity_suite

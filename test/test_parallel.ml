@@ -161,6 +161,25 @@ let qcheck_fig3_payload_deterministic =
       let run d = at_domains d (fun () -> Wsn_experiments.Sweep_jobs.runner spec) in
       String.equal (run 1) (run 4))
 
+let qcheck_mac_replications_deterministic =
+  (* The MAC simulator's replication fan-out, including the shared
+     prepared kernel, must match the sequential map bit for bit. *)
+  QCheck.Test.make ~name:"mac replications identical at 1 and 4 domains" ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let module Sim = Wsn_mac.Sim in
+      let topo = Builders.chain ~spacing_m:55.0 5 in
+      let flows =
+        [ { Sim.links = Builders.chain_hop_links topo; demand_mbps = 4.0 } ]
+      in
+      let seeds = List.init 6 (fun i -> Int64.of_int (seed + i + 1)) in
+      let run d =
+        at_domains d (fun () ->
+            let prepared = Sim.prepare topo in
+            Sim.run_replications ~prepared ~seeds topo ~flows ~duration_us:100_000)
+      in
+      compare (run 1) (run 4) = 0)
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_order;
@@ -174,4 +193,5 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_columns_deterministic;
     QCheck_alcotest.to_alcotest qcheck_colgen_deterministic;
     QCheck_alcotest.to_alcotest qcheck_fig3_payload_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_mac_replications_deterministic;
   ]

@@ -346,6 +346,35 @@ let scenario_ii_counts_pivots () =
       check Alcotest.bool "lp.solve latency recorded" true
         (solve.Registry.count > 0 && solve.Registry.sum > 0.0))
 
+(* --- integration: MAC fast path reports skip and activity metrics --- *)
+
+let mac_sim_skip_metrics () =
+  with_registry (fun () ->
+      let module Sim = Wsn_mac.Sim in
+      let module Dcf = Wsn_mac.Dcf_config in
+      let topo = Wsn_net.Builders.chain ~spacing_m:50.0 2 in
+      (* No traffic: every slot is skipped, and the bulk credit must be
+         exact — the counter equals the slot horizon. *)
+      let stats = Sim.run topo ~flows:[] ~duration_us:90_000 in
+      let total_slots = stats.Sim.duration_us / Dcf.default.Dcf.slot_us in
+      let counter name =
+        let snap = Registry.snapshot () in
+        match List.assoc_opt name snap.Registry.counters with Some v -> v | None -> 0
+      in
+      check Alcotest.int "all slots skipped when idle" total_slots (counter "mac.slots_skipped");
+      (* Light traffic: some slots skip, some run, and the active-station
+         histogram records the transmission on/off transitions. *)
+      let route = Wsn_net.Builders.chain_hop_links topo in
+      let skipped_before = counter "mac.slots_skipped" in
+      let stats = Sim.run topo ~flows:[ { Sim.links = route; demand_mbps = 2.0 } ] ~duration_us:200_000 in
+      check Alcotest.bool "delivered something" true (stats.Sim.flows.(0).Sim.frames_delivered > 0);
+      check Alcotest.bool "still skips between frames" true
+        (counter "mac.slots_skipped" > skipped_before);
+      let snap = Registry.snapshot () in
+      let dist = List.assoc "mac.active_stations" snap.Registry.histograms in
+      check Alcotest.bool "active-station samples recorded" true (dist.Registry.count > 0);
+      check (Alcotest.float 1e-9) "single sender peaks at one station" 1.0 dist.Registry.max_v)
+
 (* --- domain safety: concurrent increments must not be lost ----------- *)
 
 let two_domain_hammer () =
@@ -388,6 +417,7 @@ let suite =
     Alcotest.test_case "json snapshot round-trips" `Quick json_roundtrip;
     Alcotest.test_case "json empty snapshot" `Quick json_empty_snapshot;
     Alcotest.test_case "scenario II solve counts pivots" `Quick scenario_ii_counts_pivots;
+    Alcotest.test_case "mac sim skip metrics" `Quick mac_sim_skip_metrics;
   ]
 
 (* Registered separately, after the engine suite: spawning a domain
