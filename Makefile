@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full clean
 
 all:
 	dune build
@@ -12,6 +12,7 @@ check:
 	dune build
 	dune runtest
 	$(MAKE) sweep-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) parallel-smoke
 	$(MAKE) mac-smoke
 
@@ -20,6 +21,12 @@ check:
 # hits, -j1/-j2 byte-identity and `sweep --table` == `e3`.
 sweep-smoke:
 	dune build @cli-smoke
+
+# Admission-server smoke: stdio and socket transports through the real
+# CLI, gating warm-vs-cold byte identity, shutdown semantics and the
+# client error path.
+serve-smoke:
+	dune build @serve-smoke
 
 test: check
 
@@ -63,6 +70,17 @@ bench-mac:
 # of `make check`.
 mac-smoke:
 	dune exec bench/main.exe -- --mac-quick --mac-out BENCH_mac_quick.json
+
+# Admission-server suite: one Poisson admit/release/query trace through
+# a warm session and the cold reference.  Byte identity of the response
+# transcripts is always gated; the >= 1.2x warm speedup only in the
+# full (timed) run.  The quick artifact blanks timings and is a pure
+# function of the seed.
+bench-serve:
+	dune exec bench/main.exe -- --serve-quick --serve-out BENCH_server_quick.json
+
+bench-serve-full:
+	dune exec bench/main.exe -- --serve --serve-out BENCH_server.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

@@ -726,6 +726,120 @@ let mac_bench ~quick ~out () =
   gate light ~min_speedup:3.0;
   if !failed then exit 1
 
+(* --- admission server suite ---------------------------------------- *)
+
+module Session = Wsn_admission.Session
+module Trace = Wsn_workload.Scenarios.Admission_trace
+
+(* Warm (resident incremental state) vs cold (batch pipeline per query)
+   admission serving on the paper's 30-node topology.  Two gates:
+   response transcripts must be byte-identical (unconditional — this is
+   the correctness contract of the warm path), and in full mode the
+   warm arm must show a real speedup.  The workload leans on arrivals
+   (slow releases, query-heavy) so the session accumulates enough live
+   flows for the universes where enumeration hurts and warm state
+   pays. *)
+let serve_bench ~seed ~quick ~out () =
+  let n_ops = if quick then 120 else 500 in
+  let trace = Trace.generate ~n_ops ~arrival_rate:2.0 ~release_rate:0.08 ~query_rate:2.0 ~seed () in
+  let lines = Trace.to_request_lines trace in
+  Printf.printf "serve suite: %s mode, %d ops, seed %Ld\n%!"
+    (if quick then "quick" else "full")
+    n_ops seed;
+  (* Fresh scenario (and conflict kernel) per arm, so neither arm rides
+     the other's memoised enumerations. *)
+  let run_arm mode =
+    let scenario = RS.generate ~seed () in
+    let session =
+      Session.create ~mode ~topo:scenario.RS.topology ~model:scenario.RS.model ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let responses =
+      List.mapi (fun i line -> fst (Session.handle_line session ~seq:(i + 1) line)) lines
+    in
+    (String.concat "\n" responses, Unix.gettimeofday () -. t0)
+  in
+  let warm_transcript, wall_warm = run_arm Session.Warm in
+  let cold_transcript, wall_cold = run_arm Session.Cold in
+  let identical = String.equal warm_transcript cold_transcript in
+  let speedup = wall_cold /. Float.max 1e-9 wall_warm in
+  let qps = float_of_int n_ops /. Float.max 1e-9 wall_warm in
+  (* Untimed telemetry pass on the warm arm: latency histogram for
+     p50/p99 and the incremental-state counters.  Deterministic except
+     for the latency figures themselves. *)
+  Registry.reset ();
+  Registry.set_enabled true;
+  let telemetry_transcript, _ = run_arm Session.Warm in
+  assert (String.equal telemetry_transcript warm_transcript);
+  let latency = Registry.span "server.request" in
+  let p50_ms = Registry.histogram_percentile latency 50.0 *. 1000.0 in
+  let p99_ms = Registry.histogram_percentile latency 99.0 *. 1000.0 in
+  let snap = Registry.snapshot () in
+  Registry.set_enabled false;
+  Registry.reset ();
+  let counter n = match List.assoc_opt n snap.Registry.counters with Some v -> v | None -> 0 in
+  let digest = Digest.to_hex (Digest.string warm_transcript) in
+  Printf.printf
+    "  warm %.3fs, cold %.3fs: %.1fx; identical %b; %.0f queries/s; p50 %.3fms p99 %.3fms\n%!"
+    wall_warm wall_cold speedup identical qps p50_ms p99_ms;
+  Printf.printf "  memo hits %d, schedule reuses %d, pool inserts %d, pool seeds replayed %d\n%!"
+    (counter "server.memo_hits") (counter "server.schedule_reuses")
+    (counter "colgen.pool_inserts") (counter "colgen.pool_hits");
+  (* Quick mode blanks every timing so the artifact is a pure function
+     of the seed; the digest still pins the transcript. *)
+  let w t = if quick then 0.0 else t in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"quick\": %b,\n\
+    \  \"seed\": %Ld,\n\
+    \  \"n_ops\": %d,\n\
+    \  \"transcripts_identical\": %b,\n\
+    \  \"transcript_md5\": \"%s\",\n\
+    \  \"wall_warm_s\": %.6f,\n\
+    \  \"wall_cold_s\": %.6f,\n\
+    \  \"warm_speedup\": %.3f,\n\
+    \  \"queries_per_s\": %.1f,\n\
+    \  \"latency_p50_ms\": %.6f,\n\
+    \  \"latency_p99_ms\": %.6f,\n\
+    \  \"admits\": %d,\n\
+    \  \"rejects\": %d,\n\
+    \  \"queries\": %d,\n\
+    \  \"releases\": %d,\n\
+    \  \"memo_hits\": %d,\n\
+    \  \"schedule_reuses\": %d,\n\
+    \  \"pool_inserts\": %d,\n\
+    \  \"pool_hits\": %d\n\
+     }\n"
+    quick seed n_ops identical digest (w wall_warm) (w wall_cold) (w speedup) (w qps)
+    (w p50_ms) (w p99_ms) (counter "server.admits") (counter "server.rejects")
+    (counter "server.queries") (counter "server.releases") (counter "server.memo_hits")
+    (counter "server.schedule_reuses") (counter "colgen.pool_inserts")
+    (counter "colgen.pool_hits");
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let failed = ref false in
+  if not identical then begin
+    let dump suffix transcript =
+      let file = out ^ suffix in
+      let oc = open_out file in
+      output_string oc transcript;
+      output_char oc '\n';
+      close_out oc;
+      file
+    in
+    let wf = dump ".warm.txt" warm_transcript in
+    let cf = dump ".cold.txt" cold_transcript in
+    Printf.eprintf "SERVE FAIL: warm transcript differs from the cold reference (%s vs %s)\n" wf
+      cf;
+    failed := true
+  end;
+  if (not quick) && speedup < 1.2 then begin
+    Printf.eprintf "SERVE FAIL: warm speedup %.2fx < 1.2x over cold\n" speedup;
+    failed := true
+  end;
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -751,6 +865,9 @@ let () =
   let mac_mode = ref false in
   let mac_quick = ref false in
   let mac_out = ref "BENCH_mac.json" in
+  let serve_mode = ref false in
+  let serve_quick = ref false in
+  let serve_out = ref "BENCH_server.json" in
   Arg.parse
     [
       ( "--seed",
@@ -776,9 +893,16 @@ let () =
       ("--mac", Arg.Set mac_mode, " run the MAC simulator suite (event-driven fast path vs reference loop)");
       ("--mac-quick", Arg.Unit (fun () -> mac_mode := true; mac_quick := true), " mac suite, reduced horizons");
       ("--mac-out", Arg.Set_string mac_out, "FILE mac report path (default BENCH_mac.json)");
+      ("--serve", Arg.Set serve_mode, " run the admission-server suite (warm incremental vs cold reference)");
+      ("--serve-quick", Arg.Unit (fun () -> serve_mode := true; serve_quick := true), " serve suite, reduced trace, timing blanked (deterministic artifact)");
+      ("--serve-out", Arg.Set_string serve_out, "FILE serve report path (default BENCH_server.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE] [--mac|--mac-quick] [--mac-out FILE]";
+    "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE] [--mac|--mac-quick] [--mac-out FILE] [--serve|--serve-quick] [--serve-out FILE]";
+  if !serve_mode then begin
+    serve_bench ~seed:!seed ~quick:!serve_quick ~out:!serve_out ();
+    exit 0
+  end;
   if !mac_mode then begin
     mac_bench ~quick:!mac_quick ~out:!mac_out ();
     exit 0

@@ -385,6 +385,104 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
     Term.(const run $ telemetry_arg $ domains_arg $ seed_arg 30L)
 
+let serve_cmd =
+  let socket =
+    let doc =
+      "Serve (or with $(b,--client), connect) over a Unix-domain socket at $(docv) instead of \
+       stdio."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let client =
+    let doc =
+      "Act as a client: send request lines from stdin to the server at $(b,--socket) and print \
+       its response lines."
+    in
+    Arg.(value & flag & info [ "client" ] ~doc)
+  in
+  let gen_trace =
+    let doc =
+      "Generate $(docv) seeded Poisson admission-trace request lines on stdout and exit (no \
+       server)."
+    in
+    Arg.(value & opt (some int) None & info [ "gen-trace" ] ~docv:"N" ~doc)
+  in
+  let cold =
+    let doc =
+      "Cold reference mode: recompute every answer from scratch (full enumeration LP, fresh \
+       background schedule per request) instead of warm incremental state.  Response \
+       transcripts are byte-identical either way."
+    in
+    Arg.(value & flag & info [ "cold" ] ~doc)
+  in
+  let batch =
+    let doc = "Maximum request lines answered per wave (burst batching)." in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let max_conns =
+    let doc = "Exit after serving $(docv) socket connections." in
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let metric =
+    let doc = "Routing metric for admits and queries: hop-count, e2eTD or average-e2eD." in
+    Arg.(value & opt string "average-e2eD" & info [ "metric" ] ~docv:"NAME" ~doc)
+  in
+  let run telem domains seed socket client gen_trace cold batch metric max_conns =
+    with_common telem domains @@ fun () ->
+    match gen_trace with
+    | Some n ->
+      if n < 0 then die exit_usage "--gen-trace must be >= 0 (got %d)" n;
+      let trace = Wsn_workload.Scenarios.Admission_trace.generate ~n_ops:n ~seed () in
+      List.iter print_endline (Wsn_workload.Scenarios.Admission_trace.to_request_lines trace)
+    | None -> (
+      let metric =
+        match List.find_opt (fun m -> Metrics.name m = metric) Metrics.all with
+        | Some m -> m
+        | None ->
+          die exit_usage "unknown metric %S (have: %s)" metric
+            (String.concat ", " (List.map Metrics.name Metrics.all))
+      in
+      if batch < 1 then die exit_usage "--batch must be >= 1 (got %d)" batch;
+      (match max_conns with
+       | Some n when n < 1 -> die exit_usage "--max-conns must be >= 1 (got %d)" n
+       | Some _ | None -> ());
+      if client && socket = None then die exit_usage "--client needs --socket PATH";
+      match (socket, client) with
+      | Some path, true ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line stdin :: !lines
+           done
+         with End_of_file -> ());
+        (try Wsn_admission.Server.run_client ~path ~lines:(List.rev !lines) print_endline
+         with Unix.Unix_error (e, _, _) ->
+           die exit_job_failure "cannot reach server at %s: %s" path (Unix.error_message e))
+      | (Some _ | None), _ -> (
+        let scenario = Wsn_workload.Scenarios.Random_scenario.generate ~seed () in
+        let topo = scenario.Wsn_workload.Scenarios.Random_scenario.topology in
+        let model = scenario.Wsn_workload.Scenarios.Random_scenario.model in
+        let mode = if cold then Wsn_admission.Session.Cold else Wsn_admission.Session.Warm in
+        match socket with
+        | None ->
+          let session = Wsn_admission.Session.create ~metric ~mode ~topo ~model () in
+          Wsn_admission.Server.run_stdio ~session ~batch Unix.stdin Unix.stdout
+        | Some path ->
+          let make_session () =
+            Wsn_admission.Session.create ~metric ~mode ~topo
+              ~model:(Wsn_conflict.Model.fork_view model) ()
+          in
+          Wsn_admission.Server.run_socket ~make_session ~batch ?max_conns ~path ()))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident admission-control server: line-JSON admit/query/release over stdio or a \
+          Unix socket, warm-started LP queries against a resident topology")
+    Term.(
+      const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ socket $ client $ gen_trace
+      $ cold $ batch $ metric $ max_conns)
+
 let () =
   let doc = "Reproduction of 'Available Bandwidth in Multirate and Multihop WSNs' (ICDCS'09)" in
   let exits =
@@ -399,7 +497,7 @@ let () =
     Cmd.group info
       [
         e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e12_cmd; e13_cmd; e14_cmd; fig2_cmd;
-        ablations_cmd; sweep_cmd; topo_cmd; all_cmd;
+        ablations_cmd; sweep_cmd; topo_cmd; serve_cmd; all_cmd;
       ]
   in
   (* Map Cmdliner's evaluation outcomes onto the uniform exit codes

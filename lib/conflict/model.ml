@@ -204,6 +204,20 @@ let declared ~n_links ~rates ~alone_rates ~interferes =
   in
   create ~n_links ~rates ~alone_rates ~feasible ()
 
+let fork_view t =
+  match t.kernel with
+  | None -> t
+  | Some k ->
+    let k' = Kernel.fork k in
+    {
+      n_links = Kernel.n_links k';
+      rates = Kernel.rates k';
+      alone_rates = Kernel.alone_rates k';
+      feasible_raw = (fun assignment -> Kernel.feasible k' assignment);
+      fast_max_vector = Some (fun set -> Kernel.max_vector k' set);
+      kernel = Some k';
+    }
+
 let has_unique_max t = t.fast_max_vector <> None
 
 let pairwise_approximation t =

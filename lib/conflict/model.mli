@@ -95,6 +95,13 @@ val max_vector : t -> int list -> Wsn_radio.Rate.t array option
 val independent : t -> int list -> bool
 (** Whether some all-positive-rate assignment over the set is feasible. *)
 
+val fork_view : t -> t
+(** [fork_view t] is a worker-local view of [t] for use from another
+    domain: kernel-backed models get a {!Kernel.fork} (shared read-only
+    tables, fresh memo stores, so concurrent use never races); models
+    with no kernel are returned unchanged — safe as long as their
+    closures are pure, which {!declared} and {!physical_naive} are. *)
+
 val has_unique_max : t -> bool
 (** Whether {!max_vector} is exact (unique maximum supported rate
     vector per set), as in {!physical} models. *)

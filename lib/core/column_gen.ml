@@ -14,6 +14,10 @@ let m_lp_resolves = Telemetry.counter "colgen.lp_resolves"
 
 let m_warm_rounds = Telemetry.counter "colgen.warm_rounds"
 
+let m_pool_hits = Telemetry.counter "colgen.pool_hits"
+
+let m_pool_inserts = Telemetry.counter "colgen.pool_inserts"
+
 let warm_start = ref true
 
 type result = {
@@ -31,6 +35,31 @@ let convergence_eps = 1e-7
 
 let column_of_assignment tbl assignment =
   { assignment; mbps = List.map (fun (l, r) -> (l, Rate.mbps tbl r)) assignment }
+
+(* Cross-query column pool: assignments priced in by earlier queries on
+   the same model, replayed as extra seed columns for later masters.
+   Insertion order is preserved (and deduplication is keyed on the
+   link-sorted assignment) so a pool's contribution to a master is a
+   deterministic function of the query history. *)
+type pool = {
+  mutable passignments_rev : Model.assignment list;
+  pseen : (Model.assignment, unit) Hashtbl.t;  (* keyed link-sorted *)
+}
+
+let create_pool () = { passignments_rev = []; pseen = Hashtbl.create 64 }
+
+let pool_size p = Hashtbl.length p.pseen
+
+let pool_assignments p = List.rev p.passignments_rev
+
+let pool_add p assignment =
+  let key = List.sort compare assignment in
+  if Hashtbl.mem p.pseen key then false
+  else begin
+    Hashtbl.add p.pseen key ();
+    p.passignments_rev <- assignment :: p.passignments_rev;
+    true
+  end
 
 (* Per-column supply over the universe as a dense array, so master rows
    index it directly instead of walking association lists. *)
@@ -93,11 +122,10 @@ let solve_master ~columns ~u ~uindex ~loads ~path =
     let shares = List.map (fun v -> s.Problem.values v) lambda in
     (s.Problem.values f, sigma, weights, shares, total_shortfall s shortfall)
 
-let available ?(max_iterations = 1000) ?warm model ~background ~path =
+let available_impl ~max_iterations ~warm ~pool model ~background ~path =
   if path = [] then invalid_arg "Column_gen: empty path";
   if List.length (List.sort_uniq compare path) <> List.length path then
     invalid_arg "Column_gen: repeated link in path";
-  let warm = match warm with Some w -> w | None -> !warm_start in
   let tbl = Model.rates model in
   let universe = List.sort_uniq compare (Flow.union_links background @ path) in
   let u = Array.of_list universe in
@@ -116,6 +144,30 @@ let available ?(max_iterations = 1000) ?warm model ~background ~path =
       universe
   in
   Telemetry.add m_columns (List.length seed);
+  (* Pooled columns ride along as extra seeds when every link they use
+     is in this query's universe; singletons already seeded above are
+     skipped so the master never carries an exact duplicate. *)
+  let seed =
+    match pool with
+    | None -> seed
+    | Some p ->
+      let reusable =
+        List.filter
+          (fun a ->
+            List.for_all (fun (l, _) -> Hashtbl.mem uindex l) a
+            && (match a with
+                | [ (l, r) ] -> Model.alone_best model l <> Some r
+                | _ -> true))
+          (pool_assignments p)
+      in
+      Telemetry.add m_pool_hits (List.length reusable);
+      seed @ List.map (column_of_assignment tbl) reusable
+  in
+  let record_in_pool assignment =
+    match pool with
+    | Some p -> if pool_add p assignment then Telemetry.incr m_pool_inserts
+    | None -> ()
+  in
   let price weights =
     Telemetry.incr m_pricing_rounds;
     Pricing.max_weight_independent model
@@ -164,6 +216,7 @@ let available ?(max_iterations = 1000) ?warm model ~background ~path =
           let sigma, weights = read_duals s ~nu in
           match price weights with
           | Some (assignment, value) when value > sigma +. convergence_eps ->
+            record_in_pool assignment;
             let column = column_of_assignment tbl assignment in
             let terms =
               (0, 1.0) :: List.map (fun (l, m) -> (1 + Hashtbl.find uindex l, m)) column.mbps
@@ -193,6 +246,7 @@ let available ?(max_iterations = 1000) ?warm model ~background ~path =
         let f, sigma, weights, shares, shortfall = solve_master ~columns:pool ~u ~uindex ~loads ~path in
         match price weights with
         | Some (assignment, value) when value > sigma +. convergence_eps ->
+          record_in_pool assignment;
           pool_rev := column_of_assignment tbl assignment :: !pool_rev;
           Telemetry.incr m_columns;
           iterate (k + 1)
@@ -204,6 +258,13 @@ let available ?(max_iterations = 1000) ?warm model ~background ~path =
     end
   in
   Wsn_telemetry.Span.with_span "colgen.available" run
+
+let available ?(max_iterations = 1000) ?warm model ~background ~path =
+  let warm = match warm with Some w -> w | None -> !warm_start in
+  available_impl ~max_iterations ~warm ~pool:None model ~background ~path
+
+let available_pooled ?(max_iterations = 1000) pool model ~background ~path =
+  available_impl ~max_iterations ~warm:true ~pool:(Some pool) model ~background ~path
 
 let path_capacity ?max_iterations ?warm model ~path =
   match available ?max_iterations ?warm model ~background:[] ~path with

@@ -46,3 +46,31 @@ val available :
 val path_capacity :
   ?max_iterations:int -> ?warm:bool -> Wsn_conflict.Model.t -> path:int list -> result
 (** No-background convenience, like {!Path_bandwidth.path_capacity}. *)
+
+type pool
+(** Cross-query column pool for a long-lived session: independent-set
+    assignments priced in by earlier queries are replayed as extra seed
+    columns for later masters on the {e same} model, so a repeat (or
+    similar) query often converges with no pricing round at all.  The
+    pool only affects which columns seed the master — the optimum is
+    unchanged — and its contribution is deterministic (insertion order,
+    deduplicated on the link-sorted assignment). *)
+
+val create_pool : unit -> pool
+
+val pool_size : pool -> int
+(** Distinct assignments accumulated so far. *)
+
+val available_pooled :
+  ?max_iterations:int ->
+  pool ->
+  Wsn_conflict.Model.t ->
+  background:Flow.t list ->
+  path:int list ->
+  result option
+(** As {!available} with [~warm:true], additionally seeding the master
+    from [pool] (columns whose links all lie in this query's universe)
+    and recording every newly priced assignment back into it.  The pool
+    must only ever be used with one model.  Telemetry:
+    [colgen.pool_hits] counts replayed seeds, [colgen.pool_inserts]
+    newly recorded assignments. *)

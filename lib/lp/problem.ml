@@ -216,6 +216,8 @@ let add_column w ?(obj = 0.0) terms =
   w.wextra <- (v, xi) :: w.wextra;
   v
 
+let warm_n_vars w = w.wn0 + List.length w.wextra
+
 let resolve w =
   outcome_of_result ~n_user:w.wn_user ~enc:w.wenc ~flip:w.wflip ~const_term:w.wconst
     ~extra:w.wextra (Tableau.reoptimize w.wstate)

@@ -78,6 +78,11 @@ val add_column : warm -> ?obj:float -> (int * float) list -> var
     {!resolve} outcomes of [w] only.
     @raise Invalid_argument on an unknown constraint index. *)
 
+val warm_n_vars : warm -> int
+(** Total variables visible through [w]: those declared at
+    {!solve_warm} time plus every {!add_column} append since.  Lets a
+    long-lived session report how much a warm tableau has grown. *)
+
 val resolve : warm -> outcome
 (** Re-optimise from the previous basis (phase 2 only): the basis stays
     primal feasible across {!add_column}, so this is much cheaper than

@@ -1,0 +1,44 @@
+(** Minimal JSON for the admission protocol: a full parser for request
+    lines and a printer for building responses.
+
+    Self-contained on purpose — the server must not drag in the engine
+    library just to read a line of JSON, and no external JSON package
+    is available in the toolchain.  Numbers are floats (as in JSON);
+    object member order is preserved, which the deterministic response
+    transcripts rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an
+    error.  [Error msg] carries a short human-readable reason. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialisation, members in list order.
+    Numbers print as integers when exactly integral, [%.17g]
+    otherwise. *)
+
+val escape_into : Buffer.t -> string -> unit
+(** Append [s] JSON-string-escaped (no surrounding quotes) — for
+    response builders that write JSON by hand. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** First binding of the key in an object; [None] on non-objects. *)
+
+val to_float : t -> float option
+(** [Num] payload. *)
+
+val to_int : t -> int option
+(** [Num] payload when exactly integral. *)
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

@@ -1,0 +1,76 @@
+(** The admission wire protocol: one JSON object per line, in both
+    directions.
+
+    Requests:
+    {v
+    {"op":"admit","source":3,"target":17,"demand_mbps":1.5}
+    {"op":"query","source":5,"target":9}            // demand optional
+    {"op":"release","flow":2}                       // by flow id, or
+    {"op":"release","nth":0}                        // k-th oldest live
+    {"op":"snapshot"}  {"op":"stats"}  {"op":"ping"}  {"op":"shutdown"}
+    v}
+
+    Every request may carry an ["id"]; responses echo it (or the
+    request's 1-based sequence number when absent) so clients can match
+    answers to pipelined questions.  Malformed lines draw an
+    [{"ok":false}] error response — a protocol error is session data,
+    not a server failure, so the process exit code is unaffected.
+
+    Responses serialise with fixed member order and all Mbit/s figures
+    formatted at 3 decimals; the warm-vs-cold byte-identity gate in the
+    bench compares these exact lines. *)
+
+type request =
+  | Admit of { source : int; target : int; demand_mbps : float }
+  | Query of { source : int; target : int; demand_mbps : float option }
+  | Release_flow of int
+  | Release_nth of int
+  | Snapshot
+  | Stats
+  | Ping
+  | Shutdown
+
+val parse_request : string -> (int option * request, string) result
+(** Parse one request line into its optional ["id"] and the request.
+    [Error reason] on malformed JSON, unknown op, or missing/ill-typed
+    fields. *)
+
+(** {2 Response builders}
+
+    Each returns one complete response line (no trailing newline).
+    [id] is the echoed request id. *)
+
+val mbps : float -> float
+(** Quantise a bandwidth figure to the protocol's 3-decimal wire
+    precision.  Admission decisions are taken on this quantised value,
+    so the decision is a function of the bytes on the wire. *)
+
+val admit_response :
+  id:int ->
+  admitted:bool ->
+  flow:int option ->
+  path:int list option ->
+  available_mbps:float ->
+  string
+
+val query_response :
+  id:int -> path:int list option -> available_mbps:float -> admissible:bool option -> string
+
+val release_response : id:int -> flow:int -> remaining:int -> string
+
+val snapshot_response : id:int -> flows:(int * int list * float) list -> string
+(** [flows] are (id, path, demand) of live flows, oldest first. *)
+
+val stats_response :
+  id:int ->
+  counts:(string * int) list ->
+  latency_ms:(float * float) option ->
+  string
+(** [counts] print in list order; [latency_ms] is (p50, p99), present
+    only when telemetry is live (excluded from identity transcripts). *)
+
+val ping_response : id:int -> string
+
+val shutdown_response : id:int -> string
+
+val error_response : id:int -> string -> string

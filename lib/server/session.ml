@@ -1,0 +1,267 @@
+module Topology = Wsn_net.Topology
+module Model = Wsn_conflict.Model
+module Schedule = Wsn_sched.Schedule
+module Idleness = Wsn_sched.Idleness
+module Flow = Wsn_availbw.Flow
+module Path_bandwidth = Wsn_availbw.Path_bandwidth
+module Column_gen = Wsn_availbw.Column_gen
+module Metrics = Wsn_routing.Metrics
+module Router = Wsn_routing.Router
+module Telemetry = Wsn_telemetry.Registry
+
+let m_admits = Telemetry.counter "server.admits"
+
+let m_rejects = Telemetry.counter "server.rejects"
+
+let m_releases = Telemetry.counter "server.releases"
+
+let m_queries = Telemetry.counter "server.queries"
+
+let m_errors = Telemetry.counter "server.errors"
+
+let m_memo_hits = Telemetry.counter "server.memo_hits"
+
+let m_schedule_reuses = Telemetry.counter "server.schedule_reuses"
+
+(* Same threshold as [Wsn_routing.Admission], applied to the quantised
+   figure so the decision is a function of the wire bytes. *)
+let admission_eps = 1e-6
+
+type mode = Warm | Cold
+
+type t = {
+  smode : mode;
+  topo : Topology.t;
+  model : Model.t;
+  metric : Metrics.t;
+  pool : Column_gen.pool option;  (* [Some] iff Warm *)
+  (* Warm transcript memo: (ordered background, path) ↦ availability.
+     Keys are exact, so a hit replays a computation the cold mode would
+     repeat verbatim. *)
+  answers : (string, float) Hashtbl.t;
+  mutable flows : (int * Flow.t) list;  (* oldest admission first *)
+  mutable next_flow_id : int;
+  mutable cached_schedule : Schedule.t option;  (* Warm only *)
+  mutable counts : (string * int ref) list;  (* deterministic stats *)
+}
+
+let count t key =
+  match List.assoc_opt key t.counts with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    t.counts <- t.counts @ [ (key, r) ];
+    r
+
+let bump t key = incr (count t key)
+
+let create ?(metric = Metrics.Average_e2e_delay) ~mode ~topo ~model () =
+  {
+    smode = mode;
+    topo;
+    model;
+    metric;
+    pool = (match mode with Warm -> Some (Column_gen.create_pool ()) | Cold -> None);
+    answers = Hashtbl.create 64;
+    flows = [];
+    next_flow_id = 0;
+    cached_schedule = None;
+    counts = [];
+  }
+
+let mode t = t.smode
+
+let live_flows t = List.length t.flows
+
+let background t = List.map snd t.flows
+
+(* Background schedule: both modes call the identical pure function on
+   the identical flow list; Warm merely caches the result until the
+   flow set changes.  [None] = admitted set infeasible, which admission
+   control rules out — treated as an internal error upstream. *)
+let schedule t =
+  match t.smode with
+  | Cold -> Path_bandwidth.background_schedule t.model (background t)
+  | Warm -> (
+    match t.cached_schedule with
+    | Some s ->
+      Telemetry.incr m_schedule_reuses;
+      Some s
+    | None ->
+      let s = Path_bandwidth.background_schedule t.model (background t) in
+      t.cached_schedule <- s;
+      s)
+
+let invalidate t = t.cached_schedule <- None
+
+let memo_key background path =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter (fun l -> Printf.bprintf buf "%d," l) f.path;
+      Printf.bprintf buf "@%h;" f.demand_mbps)
+    background;
+  Buffer.add_char buf '|';
+  List.iter (fun l -> Printf.bprintf buf "%d," l) path;
+  Buffer.contents buf
+
+(* Availability of [path] under the current background.  Warm goes
+   memo → pooled warm column generation; Cold re-enumerates and solves
+   from scratch.  Both optimise the same Equation-6 LP. *)
+let availability t path =
+  let bg = background t in
+  match t.smode with
+  | Cold -> (
+    match Path_bandwidth.available t.model ~background:bg ~path with
+    | Some r -> Some r.Path_bandwidth.bandwidth_mbps
+    | None -> None)
+  | Warm -> (
+    let key = memo_key bg path in
+    match Hashtbl.find_opt t.answers key with
+    | Some v ->
+      Telemetry.incr m_memo_hits;
+      Some v
+    | None -> (
+      let pool = Option.get t.pool in
+      match Column_gen.available_pooled pool t.model ~background:bg ~path with
+      | Some r ->
+        Hashtbl.replace t.answers key r.Column_gen.bandwidth_mbps;
+        Some r.Column_gen.bandwidth_mbps
+      | None -> None))
+
+(* Route then price: the paper's idleness-aware QoS routing (§4) over
+   the current schedule, then the Equation-6 LP on the chosen path. *)
+let route_and_price t ~source ~target =
+  match schedule t with
+  | None -> Error "internal: admitted flow set became infeasible"
+  | Some s ->
+    let idleness l = Idleness.link_idleness t.topo s l in
+    (match Router.find_path t.topo ~metric:t.metric ~idleness ~source ~target with
+     | None -> Ok (None, 0.0)
+     | Some path -> (
+       match availability t path with
+       | Some avail -> Ok (Some path, Protocol.mbps avail)
+       | None -> Error "internal: availability LP infeasible"))
+
+let check_node t name n =
+  if n < 0 || n >= Topology.n_nodes t.topo then
+    Error (Printf.sprintf "%s %d out of range [0, %d)" name n (Topology.n_nodes t.topo))
+  else Ok ()
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let do_admit t ~id ~source ~target ~demand_mbps =
+  let* () = check_node t "source" source in
+  let* () = check_node t "target" target in
+  if source = target then Error "source equals target"
+  else
+    let* path, avail = route_and_price t ~source ~target in
+    let admitted = path <> None && avail >= demand_mbps -. admission_eps in
+    if admitted then begin
+      Telemetry.incr m_admits;
+      bump t "admits";
+      let flow_id = t.next_flow_id in
+      t.next_flow_id <- flow_id + 1;
+      let flow = Flow.make ~path:(Option.get path) ~demand_mbps in
+      t.flows <- t.flows @ [ (flow_id, flow) ];
+      invalidate t;
+      Ok (Protocol.admit_response ~id ~admitted:true ~flow:(Some flow_id) ~path
+            ~available_mbps:avail)
+    end
+    else begin
+      Telemetry.incr m_rejects;
+      bump t "rejects";
+      Ok (Protocol.admit_response ~id ~admitted:false ~flow:None ~path ~available_mbps:avail)
+    end
+
+let do_query t ~id ~source ~target ~demand_mbps =
+  let* () = check_node t "source" source in
+  let* () = check_node t "target" target in
+  if source = target then Error "source equals target"
+  else
+    let* path, avail = route_and_price t ~source ~target in
+    Telemetry.incr m_queries;
+    bump t "queries";
+    let admissible =
+      Option.map (fun d -> path <> None && avail >= d -. admission_eps) demand_mbps
+    in
+    Ok (Protocol.query_response ~id ~path ~available_mbps:avail ~admissible)
+
+let remove_flow t flow_id =
+  match List.assoc_opt flow_id t.flows with
+  | None -> None
+  | Some _ ->
+    t.flows <- List.filter (fun (fid, _) -> fid <> flow_id) t.flows;
+    invalidate t;
+    Telemetry.incr m_releases;
+    Some ()
+
+let do_release t ~id which =
+  let flow_id =
+    match which with
+    | `Flow fid -> Ok fid
+    | `Nth k -> (
+      match List.nth_opt t.flows k with
+      | Some (fid, _) -> Ok fid
+      | None -> Error (Printf.sprintf "no %d-th live flow (%d live)" k (List.length t.flows)))
+  in
+  let* flow_id = flow_id in
+  match remove_flow t flow_id with
+  | None -> Error (Printf.sprintf "unknown flow %d" flow_id)
+  | Some () ->
+    bump t "releases";
+    Ok (Protocol.release_response ~id ~flow:flow_id ~remaining:(List.length t.flows))
+
+let do_snapshot t ~id =
+  let flows = List.map (fun (fid, (f : Flow.t)) -> (fid, f.path, f.demand_mbps)) t.flows in
+  Ok (Protocol.snapshot_response ~id ~flows)
+
+let do_stats t ~id =
+  (* Fixed key order; latency only when telemetry is live. *)
+  let counts =
+    List.map (fun k -> (k, !(count t k))) [ "admits"; "rejects"; "queries"; "releases"; "errors" ]
+    @ [ ("live_flows", List.length t.flows);
+        ("pool_columns", match t.pool with Some p -> Column_gen.pool_size p | None -> 0) ]
+  in
+  let latency_ms =
+    if Telemetry.is_enabled () then begin
+      let h = Telemetry.span "server.request" in
+      if Telemetry.histogram_count h > 0 then
+        Some
+          ( Telemetry.histogram_percentile h 50.0 *. 1000.0,
+            Telemetry.histogram_percentile h 99.0 *. 1000.0 )
+      else None
+    end
+    else None
+  in
+  Ok (Protocol.stats_response ~id ~counts ~latency_ms)
+
+let handle t ~id request =
+  let result =
+    match request with
+    | Protocol.Admit { source; target; demand_mbps } -> do_admit t ~id ~source ~target ~demand_mbps
+    | Protocol.Query { source; target; demand_mbps } -> do_query t ~id ~source ~target ~demand_mbps
+    | Protocol.Release_flow fid -> do_release t ~id (`Flow fid)
+    | Protocol.Release_nth k -> do_release t ~id (`Nth k)
+    | Protocol.Snapshot -> do_snapshot t ~id
+    | Protocol.Stats -> do_stats t ~id
+    | Protocol.Ping -> Ok (Protocol.ping_response ~id)
+    | Protocol.Shutdown -> Ok (Protocol.shutdown_response ~id)
+  in
+  match result with
+  | Ok line -> line
+  | Error reason ->
+    Telemetry.incr m_errors;
+    bump t "errors";
+    Protocol.error_response ~id reason
+
+let handle_line t ~seq line =
+  Wsn_telemetry.Span.with_span "server.request" (fun () ->
+      match Protocol.parse_request line with
+      | Error reason ->
+        Telemetry.incr m_errors;
+        bump t "errors";
+        (Protocol.error_response ~id:seq reason, false)
+      | Ok (id, request) ->
+        let id = Option.value id ~default:seq in
+        (handle t ~id request, request = Protocol.Shutdown))

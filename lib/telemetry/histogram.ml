@@ -75,6 +75,11 @@ let quantile h q =
     if Float.is_nan h.min_v then raw else Float.max h.min_v (Float.min h.max_v raw)
   end
 
+let percentile h p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Histogram.percentile: percentile must be in [0, 100]";
+  quantile h (p /. 100.0)
+
 let clear h =
   Hashtbl.reset h.buckets;
   h.count <- 0;

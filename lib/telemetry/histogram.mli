@@ -23,6 +23,11 @@ val max_value : t -> float
 (** [quantile h q] for [q] in [0, 1]; [nan] when empty. *)
 val quantile : t -> float -> float
 
+(** [percentile h p] is [quantile h (p /. 100.)] — the approximate
+    [p]-th percentile, for [p] in [0, 100]; [nan] when empty.
+    @raise Invalid_argument when [p] is outside [0, 100]. *)
+val percentile : t -> float -> float
+
 val mean : t -> float
 
 val clear : t -> unit

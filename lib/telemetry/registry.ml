@@ -77,6 +77,18 @@ let observe h v = if !enabled then locked_observe h v
 
 let observe_always h v = locked_observe h v
 
+let histogram_percentile h p =
+  Mutex.lock h.h_lock;
+  let r = Histogram.percentile h.h_dist p in
+  Mutex.unlock h.h_lock;
+  r
+
+let histogram_count h =
+  Mutex.lock h.h_lock;
+  let r = Histogram.count h.h_dist in
+  Mutex.unlock h.h_lock;
+  r
+
 let with_histogram h f =
   Mutex.lock h.h_lock;
   let r = f h.h_dist in

@@ -66,6 +66,17 @@ val observe : histogram -> float -> unit
     already checked {!enabled} before taking timestamps. *)
 val observe_always : histogram -> float -> unit
 
+(** [histogram_percentile h p] reads the approximate [p]-th percentile
+    ([p] in [0, 100]) of a histogram or span handle directly — the
+    programmatic counterpart of the snapshot's p50/p90/p99 fields, for
+    callers (the admission server's stats endpoint, benches) that need
+    one quantile without exporting a snapshot.  [nan] when empty.
+    @raise Invalid_argument when [p] is outside [0, 100]. *)
+val histogram_percentile : histogram -> float -> float
+
+(** Number of recorded observations (0 when empty or never enabled). *)
+val histogram_count : histogram -> int
+
 (** Zero every registered metric (handles stay valid).  For tests and
     benchmark baselines. *)
 val reset : unit -> unit

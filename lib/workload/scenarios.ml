@@ -4,6 +4,7 @@ module Schedule = Wsn_sched.Schedule
 module Flow = Wsn_availbw.Flow
 module Generator = Wsn_net.Generator
 module Streams = Wsn_prng.Streams
+module Pcg32 = Wsn_prng.Pcg32
 
 module Scenario_i = struct
   let rate_mbps = 54.0
@@ -100,4 +101,80 @@ module Random_scenario = struct
       model = Model.physical topology;
       flows = List.map (fun (s, d) -> (s, d, demand_mbps)) pairs;
     }
+end
+
+module Admission_trace = struct
+  type op =
+    | Admit of { source : int; target : int; demand_mbps : float }
+    | Release_nth of int
+    | Query of { source : int; target : int; demand_mbps : float option }
+
+  type t = op list
+
+  (* Event times compete as exponentials: admissions at [arrival_rate],
+     releases at [n_live · release_rate] (each live flow departs
+     independently), queries at [query_rate].  [n_live] tracks flows the
+     trace has admitted, assuming admits succeed: if the server rejects
+     one, a later [Release_nth] may overshoot the live set and draw an
+     error response — deterministic either way, so traces stay replayable
+     against any server mode. *)
+  let generate ?(n_nodes = 30) ?(n_ops = 100) ?(arrival_rate = 1.0) ?(release_rate = 0.25)
+      ?(query_rate = 1.5) ~seed () =
+    if n_nodes < 2 then invalid_arg "Admission_trace.generate: need at least 2 nodes";
+    if n_ops < 0 then invalid_arg "Admission_trace.generate: negative n_ops";
+    let streams = Streams.create seed in
+    let g = Streams.stream streams "admission-trace" in
+    let random_pair () =
+      let s = Pcg32.next_below g n_nodes in
+      let t = (s + 1 + Pcg32.next_below g (n_nodes - 1)) mod n_nodes in
+      (s, t)
+    in
+    (* A few hotspot endpoint pairs dominate the trace so a session's
+       memo and column pool see realistic repeat traffic. *)
+    let hotspots = Array.init 6 (fun _ -> random_pair ()) in
+    let endpoints () =
+      if Pcg32.next_float g < 0.7 then Pcg32.pick g hotspots else random_pair ()
+    in
+    let demand () = 0.25 *. float_of_int (1 + Pcg32.next_below g 12) in
+    let n_live = ref 0 in
+    let ops = ref [] in
+    for _ = 1 to n_ops do
+      let t_admit = Pcg32.exponential g arrival_rate in
+      let t_query = Pcg32.exponential g query_rate in
+      let t_release =
+        if !n_live = 0 then infinity
+        else Pcg32.exponential g (release_rate *. float_of_int !n_live)
+      in
+      let op =
+        if t_admit <= t_query && t_admit <= t_release then begin
+          incr n_live;
+          let source, target = endpoints () in
+          Admit { source; target; demand_mbps = demand () }
+        end
+        else if t_release <= t_query then begin
+          let k = Pcg32.next_below g !n_live in
+          decr n_live;
+          Release_nth k
+        end
+        else begin
+          let source, target = endpoints () in
+          let demand_mbps = if Pcg32.next_float g < 0.5 then Some (demand ()) else None in
+          Query { source; target; demand_mbps }
+        end
+      in
+      ops := op :: !ops
+    done;
+    List.rev !ops
+
+  let request_line = function
+    | Admit { source; target; demand_mbps } ->
+      Printf.sprintf {|{"op":"admit","source":%d,"target":%d,"demand_mbps":%.3f}|} source target
+        demand_mbps
+    | Release_nth k -> Printf.sprintf {|{"op":"release","nth":%d}|} k
+    | Query { source; target; demand_mbps = None } ->
+      Printf.sprintf {|{"op":"query","source":%d,"target":%d}|} source target
+    | Query { source; target; demand_mbps = Some d } ->
+      Printf.sprintf {|{"op":"query","source":%d,"target":%d,"demand_mbps":%.3f}|} source target d
+
+  let to_request_lines t = List.map request_line t
 end

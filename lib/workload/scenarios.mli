@@ -78,3 +78,44 @@ module Random_scenario : sig
       random source–destination pairs each demanding [demand_mbps]
       (default 2.0).  Deterministic in [seed]. *)
 end
+
+(** {1 Admission traces — workload for the admission server} *)
+
+module Admission_trace : sig
+  (** Seeded Poisson admit/release/query streams for driving a
+      {!Wsn_admission} session: admissions arrive at [arrival_rate],
+      each live flow departs at [release_rate], and read-only queries
+      arrive at [query_rate] (competing exponentials).  A release names
+      the [k]-th {e oldest} live flow rather than a flow id, so a trace
+      is a pure function of its seed and can be replayed against any
+      server.  A small hotspot set of endpoint pairs dominates (~70% of
+      admits and queries) so warm sessions see realistic repeats. *)
+
+  type op =
+    | Admit of { source : int; target : int; demand_mbps : float }
+    | Release_nth of int
+        (** Release the [k]-th oldest live flow (0-based); an overshoot
+            — possible when the server rejected an earlier admit —
+            draws an error response, deterministically. *)
+    | Query of { source : int; target : int; demand_mbps : float option }
+
+  type t = op list
+
+  val generate :
+    ?n_nodes:int ->
+    ?n_ops:int ->
+    ?arrival_rate:float ->
+    ?release_rate:float ->
+    ?query_rate:float ->
+    seed:int64 ->
+    unit ->
+    t
+  (** [generate ~seed ()] draws [n_ops] (default 100) operations over
+      nodes [0 .. n_nodes-1] (default 30, matching the paper topology).
+      Deterministic in [seed] (own named stream, independent of the
+      topology streams).
+      @raise Invalid_argument if [n_nodes < 2] or [n_ops < 0]. *)
+
+  val to_request_lines : t -> string list
+  (** The trace as admission-protocol JSON request lines, one per op. *)
+end

@@ -33,12 +33,22 @@ assert() { # assert DESC TEST...
 
 # --- exit-code policy -------------------------------------------------
 expect_exit 0 "--help is ok" "$BIN" --help
+assert "--help lists serve" grep -q serve "$T/stdout"
 expect_exit 2 "unknown subcommand is a usage error" "$BIN" no-such-experiment
+assert "unknown-subcommand message lists serve" grep -q serve "$T/stderr"
 expect_exit 2 "malformed --seeds is a usage error" "$BIN" sweep --seeds bogus
 expect_exit 2 "unknown metric is a usage error" "$BIN" sweep --metrics no-such-metric
 expect_exit 2 "--resume without --journal is a usage error" "$BIN" sweep --resume
 expect_exit 1 "a failing job exits 1" \
   "$BIN" sweep --kind fail --seeds 1..2 --retries 0 -j 2 --no-cache
+
+# --- serve: usage errors exit 2 before any socket/stdio work ----------
+expect_exit 2 "serve --batch 0 is a usage error" "$BIN" serve --batch 0
+expect_exit 2 "serve --max-conns 0 is a usage error" "$BIN" serve --max-conns 0
+expect_exit 2 "serve unknown metric is a usage error" "$BIN" serve --metric bogus </dev/null
+expect_exit 2 "serve --client without --socket is a usage error" "$BIN" serve --client
+expect_exit 1 "serve --client with no server exits 1" \
+  "$BIN" serve --client --socket "$T/nope.sock" </dev/null
 
 # --- a tiny fixed-seed grid under -j2 ---------------------------------
 GRID=(--seeds 1..2 --n-flows 2 -j 2)

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Admission-server smoke test through the real binary: trace generation
+# is deterministic, stdio warm and cold transcripts are byte-identical,
+# the socket transport returns the same bytes as stdio, and shutdown /
+# client error paths behave.  Run by the dune `serve-smoke` alias (and
+# `make serve-smoke`) with the wsn_repro executable as $1.
+set -u
+
+BIN=$1
+T=serve-smoke-tmp
+rm -rf "$T"
+mkdir -p "$T"
+
+fails=0
+assert() { # assert DESC TEST...
+  local desc=$1
+  shift
+  if ! "$@"; then
+    echo "FAIL: $desc" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+# --- trace generation is deterministic --------------------------------
+"$BIN" serve --gen-trace 60 --seed 7 >"$T/trace.txt"
+assert "gen-trace exits 0" test $? -eq 0
+assert "gen-trace emits 60 lines" test "$(wc -l < "$T/trace.txt")" -eq 60
+"$BIN" serve --gen-trace 60 --seed 7 >"$T/trace2.txt"
+assert "gen-trace is deterministic" cmp -s "$T/trace.txt" "$T/trace2.txt"
+
+# --- stdio: warm vs cold byte identity (the PR's core invariant) ------
+"$BIN" serve <"$T/trace.txt" >"$T/warm.txt"
+assert "warm stdio serve exits 0" test $? -eq 0
+"$BIN" serve --cold <"$T/trace.txt" >"$T/cold.txt"
+assert "cold stdio serve exits 0" test $? -eq 0
+assert "warm transcript non-empty" test -s "$T/warm.txt"
+assert "one response per request" test "$(wc -l < "$T/warm.txt")" -eq 60
+assert "warm == cold byte-identical" cmp -s "$T/warm.txt" "$T/cold.txt"
+assert "batching does not change answers" bash -c \
+  "\"$BIN\" serve --batch 1 <\"$T/trace.txt\" | cmp -s - \"$T/warm.txt\""
+
+# --- shutdown request ends a stdio session mid-stream -----------------
+{ head -5 "$T/trace.txt"; echo '{"op":"shutdown"}'; cat "$T/trace.txt"; } \
+  >"$T/with-shutdown.txt"
+"$BIN" serve <"$T/with-shutdown.txt" >"$T/short.txt"
+assert "shutdown exits 0" test $? -eq 0
+assert "shutdown truncates the transcript" \
+  test "$(wc -l < "$T/short.txt")" -le 38  # 5 + shutdown + <= one drained batch
+assert "shutdown acknowledged" grep -q '"op":"shutdown"' "$T/short.txt"
+
+# --- socket transport: same bytes as stdio ----------------------------
+SOCK="$T/admission.sock"
+"$BIN" serve --socket "$SOCK" --max-conns 1 &
+SERVER=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+assert "socket file appears" test -S "$SOCK"
+"$BIN" serve --client --socket "$SOCK" <"$T/trace.txt" >"$T/socket.txt"
+assert "client exits 0" test $? -eq 0
+wait "$SERVER"
+assert "server exits 0 after --max-conns 1" test $? -eq 0
+assert "socket transcript == stdio transcript" cmp -s "$T/socket.txt" "$T/warm.txt"
+assert "socket file unlinked on exit" test ! -e "$SOCK"
+
+# --- error paths ------------------------------------------------------
+"$BIN" serve --client --socket "$T/absent.sock" </dev/null >/dev/null 2>"$T/err.txt"
+assert "client without server exits 1" test $? -eq 1
+assert "client error names the socket" grep -q absent.sock "$T/err.txt"
+echo 'not json' | "$BIN" serve >"$T/bad.txt"
+assert "malformed request still exits 0" test $? -eq 0
+assert "malformed request draws ok:false" grep -q '"ok":false' "$T/bad.txt"
+
+if [ "$fails" -gt 0 ]; then
+  echo "serve_smoke: $fails check(s) failed" >&2
+  exit 1
+fi
+echo "serve_smoke: all checks passed"

@@ -28,4 +28,5 @@ let () =
       ("telemetry-domains", Test_telemetry.domain_suite);
       ("joint", Test_joint.suite);
       ("column-gen", Test_column_gen.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,252 @@
+(* Tests for Wsn_admission: the JSON layer, protocol parsing, session
+   semantics on a small topology, the stdio transport over pipes, and
+   the PR's core property — any interleaving of admit/release/query
+   deltas answered by the warm incremental path is byte-identical to
+   the cold full-recompute reference on the same request stream. *)
+
+module Json = Wsn_admission.Json
+module Protocol = Wsn_admission.Protocol
+module Session = Wsn_admission.Session
+module Server = Wsn_admission.Server
+module Trace = Wsn_workload.Scenarios.Admission_trace
+module Generator = Wsn_net.Generator
+module Model = Wsn_conflict.Model
+module Pcg32 = Wsn_prng.Pcg32
+
+let check = Alcotest.check
+
+(* A small connected topology keeps per-case cost low enough for
+   QCheck while still exercising multihop routes. *)
+let small_config =
+  { Generator.n_nodes = 10; width_m = 220.0; height_m = 260.0; max_placement_attempts = 1000 }
+
+let small_world seed =
+  let topo = Generator.connected_topology (Pcg32.create seed) small_config in
+  (topo, Model.physical topo)
+
+let make_session ?metric mode seed =
+  let topo, model = small_world seed in
+  Session.create ?metric ~mode ~topo ~model ()
+
+(* --- json ----------------------------------------------------------- *)
+
+let json_roundtrip () =
+  let cases =
+    [
+      {|{"op":"admit","source":3,"target":17,"demand_mbps":1.5}|};
+      {|{"a":[1,2.25,-3e2],"b":true,"c":null,"d":"x\"y\\z","e":{}}|};
+      {|[]|};
+      {|"Aé€"|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error msg -> Alcotest.failf "parse %s: %s" s msg
+      | Ok v -> (
+        (* Round-trip through the printer re-parses to the same value. *)
+        match Json.parse (Json.to_string v) with
+        | Ok v' -> check Alcotest.bool ("round-trip " ^ s) true (v = v')
+        | Error msg -> Alcotest.failf "re-parse %s: %s" (Json.to_string v) msg))
+    cases;
+  check Alcotest.bool "surrogate pair" true
+    (Json.parse {|"😀"|} = Ok (Json.Str "\xf0\x9f\x98\x80"));
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %s" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; {|{"a":}|}; "tru"; "1.2.3"; {|{"a":1} x|}; {|"unterminated|} ]
+
+let json_accessors () =
+  let v = Result.get_ok (Json.parse {|{"n":4,"f":2.5,"s":"hi","l":[1,2]}|}) in
+  check Alcotest.(option int) "int member" (Some 4) Option.(bind (Json.member "n" v) Json.to_int);
+  check Alcotest.bool "float member" true (Option.bind (Json.member "f" v) Json.to_float = Some 2.5);
+  check Alcotest.bool "non-integral int is None" true
+    (Option.bind (Json.member "f" v) Json.to_int = None);
+  check Alcotest.(option string) "str member" (Some "hi")
+    Option.(bind (Json.member "s" v) Json.to_str);
+  check Alcotest.bool "missing member" true (Json.member "zzz" v = None)
+
+(* --- protocol ------------------------------------------------------- *)
+
+let protocol_parse () =
+  (match Protocol.parse_request {|{"op":"admit","source":1,"target":2,"demand_mbps":0.5,"id":9}|} with
+   | Ok (Some 9, Protocol.Admit { source = 1; target = 2; demand_mbps = 0.5 }) -> ()
+   | _ -> Alcotest.fail "admit parse");
+  (match Protocol.parse_request {|{"op":"query","source":1,"target":2}|} with
+   | Ok (None, Protocol.Query { demand_mbps = None; _ }) -> ()
+   | _ -> Alcotest.fail "query parse");
+  (match Protocol.parse_request {|{"op":"release","nth":0}|} with
+   | Ok (None, Protocol.Release_nth 0) -> ()
+   | _ -> Alcotest.fail "release nth parse");
+  List.iter
+    (fun bad ->
+      match Protocol.parse_request bad with
+      | Ok _ -> Alcotest.failf "accepted %s" bad
+      | Error _ -> ())
+    [
+      {|{"op":"admit","source":1,"target":2}|} (* missing demand *);
+      {|{"op":"admit","source":1,"target":2,"demand_mbps":-1}|};
+      {|{"op":"release"}|};
+      {|{"op":"release","flow":1,"nth":2}|};
+      {|{"op":"warp"}|};
+      {|{"source":1}|};
+      "not json at all";
+    ]
+
+let protocol_quantisation () =
+  (* Machine-noise around an exact 0.0005 boundary must collapse to one
+     wire value, and a tiny negative optimum must not print as -0. *)
+  check (Alcotest.float 0.0) "boundary from below" 11.063 (Protocol.mbps 11.062499999999998);
+  check (Alcotest.float 0.0) "boundary exact" 11.063 (Protocol.mbps 11.0625);
+  check (Alcotest.float 0.0) "boundary from above" 11.063 (Protocol.mbps 11.062500000000002);
+  check (Alcotest.float 0.0) "negative zero normalised" 0.0 (Protocol.mbps (-1e-13));
+  check Alcotest.bool "no minus sign" false
+    (String.contains (Printf.sprintf "%.3f" (Protocol.mbps (-1e-13))) '-');
+  check (Alcotest.float 0.0) "plain value" 2.5 (Protocol.mbps 2.5)
+
+(* --- session semantics ---------------------------------------------- *)
+
+let session_lifecycle () =
+  let s = make_session Session.Warm 7L in
+  let response, stop = Session.handle_line s ~seq:1 {|{"op":"ping"}|} in
+  check Alcotest.string "ping" {|{"id":1,"ok":true,"op":"pong"}|} response;
+  check Alcotest.bool "ping does not stop" false stop;
+  (* Admit something modest; the empty network must accept it. *)
+  let response, _ =
+    Session.handle_line s ~seq:2 {|{"op":"admit","source":0,"target":1,"demand_mbps":0.25}|}
+  in
+  let v = Result.get_ok (Json.parse response) in
+  check Alcotest.bool "admitted" true (Json.member "admitted" v = Some (Json.Bool true));
+  check Alcotest.int "one live flow" 1 (Session.live_flows s);
+  check Alcotest.int "background size" 1 (List.length (Session.background s));
+  (* Snapshot shows it; releasing it empties the session. *)
+  let snap, _ = Session.handle_line s ~seq:3 {|{"op":"snapshot"}|} in
+  let sv = Result.get_ok (Json.parse snap) in
+  (match Option.bind (Json.member "flows" sv) Json.to_list with
+   | Some [ _ ] -> ()
+   | _ -> Alcotest.fail "snapshot lists one flow");
+  let rel, _ = Session.handle_line s ~seq:4 {|{"op":"release","nth":0}|} in
+  check Alcotest.bool "release ok" true
+    (Json.member "ok" (Result.get_ok (Json.parse rel)) = Some (Json.Bool true));
+  check Alcotest.int "empty again" 0 (Session.live_flows s);
+  (* Errors are responses, not exceptions; ids echo the sequence. *)
+  List.iter
+    (fun line ->
+      let response, stop = Session.handle_line s ~seq:9 line in
+      let v = Result.get_ok (Json.parse response) in
+      check Alcotest.bool ("not ok: " ^ line) true (Json.member "ok" v = Some (Json.Bool false));
+      check Alcotest.bool "no stop on error" false stop)
+    [
+      {|{"op":"release","flow":42}|};
+      {|{"op":"release","nth":5}|};
+      {|{"op":"query","source":0,"target":99}|};
+      {|{"op":"query","source":3,"target":3}|};
+      "garbage";
+    ];
+  let bye, stop = Session.handle_line s ~seq:10 {|{"op":"shutdown"}|} in
+  check Alcotest.bool "shutdown ok" true
+    (Json.member "ok" (Result.get_ok (Json.parse bye)) = Some (Json.Bool true));
+  check Alcotest.bool "shutdown stops" true stop
+
+let session_id_echo () =
+  let s = make_session Session.Cold 7L in
+  let response, _ = Session.handle_line s ~seq:5 {|{"op":"ping","id":77}|} in
+  check Alcotest.string "explicit id wins" {|{"id":77,"ok":true,"op":"pong"}|} response
+
+(* --- stdio transport over pipes -------------------------------------- *)
+
+let stdio_transport () =
+  let requests =
+    [
+      {|{"op":"admit","source":0,"target":1,"demand_mbps":0.25}|};
+      {|{"op":"query","source":0,"target":1,"demand_mbps":0.25}|};
+      {|{"op":"release","nth":0}|};
+    ]
+  in
+  (* Small writes fit comfortably in pipe buffers, so a single thread
+     can stage all input, run the server to EOF, then read the output. *)
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let payload = String.concat "\n" requests ^ "\n" in
+  let written = Unix.write_substring in_w payload 0 (String.length payload) in
+  check Alcotest.int "staged all input" (String.length payload) written;
+  Unix.close in_w;
+  let session = make_session Session.Warm 7L in
+  Server.run_stdio ~session ~batch:2 in_r out_w;
+  Unix.close in_r;
+  Unix.close out_w;
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read out_r chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Unix.close out_r;
+  let lines = String.split_on_char '\n' (Buffer.contents buf) |> List.filter (( <> ) "") in
+  check Alcotest.int "one response per request" (List.length requests) (List.length lines);
+  List.iteri
+    (fun i line ->
+      let v = Result.get_ok (Json.parse line) in
+      check Alcotest.bool "ok" true (Json.member "ok" v = Some (Json.Bool true));
+      check Alcotest.bool "sequential id" true (Json.member "id" v = Some (Json.Num (float_of_int (i + 1)))))
+    lines
+
+(* --- traces ---------------------------------------------------------- *)
+
+let trace_deterministic () =
+  let t1 = Trace.generate ~n_ops:40 ~seed:5L () in
+  let t2 = Trace.generate ~n_ops:40 ~seed:5L () in
+  check Alcotest.bool "same seed, same trace" true (t1 = t2);
+  let t3 = Trace.generate ~n_ops:40 ~seed:6L () in
+  check Alcotest.bool "different seed, different trace" false (t1 = t3);
+  check Alcotest.int "requested length" 40 (List.length t1);
+  (* Every emitted line parses back as a protocol request. *)
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "trace line %s: %s" line msg)
+    (Trace.to_request_lines t1)
+
+(* --- the core property: warm = cold on any interleaving -------------- *)
+
+let run_transcript mode ~topo_seed lines =
+  let s = make_session mode topo_seed in
+  List.mapi (fun i line -> fst (Session.handle_line s ~seq:(i + 1) line)) lines
+
+let qcheck_warm_equals_cold =
+  QCheck.Test.make ~name:"warm session transcript = cold reference on random interleavings"
+    ~count:15
+    QCheck.(pair (int_bound 100_000) (int_bound 3))
+    (fun (seed, topo_pick) ->
+      let topo_seed = Int64.of_int (7 + topo_pick) in
+      let trace =
+        Trace.generate ~n_nodes:small_config.Generator.n_nodes ~n_ops:25
+          ~seed:(Int64.of_int seed) ()
+      in
+      let lines = Trace.to_request_lines trace in
+      let warm = run_transcript Session.Warm ~topo_seed lines in
+      let cold = run_transcript Session.Cold ~topo_seed lines in
+      if warm <> cold then
+        QCheck.Test.fail_reportf "transcripts diverge:@.%s@.vs@.%s"
+          (String.concat "\n" warm) (String.concat "\n" cold)
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trips" `Quick json_roundtrip;
+    Alcotest.test_case "json accessors" `Quick json_accessors;
+    Alcotest.test_case "protocol parsing" `Quick protocol_parse;
+    Alcotest.test_case "wire quantisation" `Quick protocol_quantisation;
+    Alcotest.test_case "session lifecycle" `Quick session_lifecycle;
+    Alcotest.test_case "session id echo" `Quick session_id_echo;
+    Alcotest.test_case "stdio transport over pipes" `Quick stdio_transport;
+    Alcotest.test_case "admission traces deterministic" `Quick trace_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
+  ]

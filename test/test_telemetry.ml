@@ -239,6 +239,46 @@ let histogram_edge_cases () =
   check Alcotest.int "underflow counted" 3 (Histogram.count z);
   check (Alcotest.float 1e-9) "underflow p50 is 0" 0.0 (Histogram.quantile z 0.5)
 
+let histogram_percentiles () =
+  let h = Histogram.create () in
+  check Alcotest.bool "empty percentile is nan" true (Float.is_nan (Histogram.percentile h 50.0));
+  for v = 1 to 1000 do
+    Histogram.observe h (float_of_int v)
+  done;
+  check (Alcotest.float 1e-9) "p50 = quantile 0.5" (Histogram.quantile h 0.5)
+    (Histogram.percentile h 50.0);
+  check (Alcotest.float 1e-9) "p99 = quantile 0.99" (Histogram.quantile h 0.99)
+    (Histogram.percentile h 99.0);
+  check (Alcotest.float 1e-9) "p100 clamps to max" 1000.0 (Histogram.percentile h 100.0);
+  (* p0 lands in the lowest non-empty bucket; its geometric-midpoint
+     representative sits within one bucket's relative error of the true
+     minimum (it is not clamped down to it). *)
+  check (Alcotest.float 1e-9) "p0 = quantile 0" (Histogram.quantile h 0.0)
+    (Histogram.percentile h 0.0);
+  check Alcotest.bool "p0 within lowest-bucket error of min" true
+    (let p0 = Histogram.percentile h 0.0 in
+     p0 >= 1.0 && p0 <= 10.0 ** (1.0 /. 10.0));
+  Alcotest.check_raises "out of range raises"
+    (Invalid_argument "Histogram.percentile: percentile must be in [0, 100]") (fun () ->
+      ignore (Histogram.percentile h 101.0));
+  (* The registry accessor reads the same figures through the handle's
+     lock, without exporting a snapshot. *)
+  with_registry (fun () ->
+      let rh = Registry.histogram "percentile.test" in
+      check Alcotest.int "empty count" 0 (Registry.histogram_count rh);
+      Registry.observe rh 10.0;
+      Registry.observe rh 20.0;
+      Registry.observe rh 30.0;
+      check Alcotest.int "count" 3 (Registry.histogram_count rh);
+      let p50 = Registry.histogram_percentile rh 50.0 in
+      let p100 = Registry.histogram_percentile rh 100.0 in
+      check Alcotest.bool "registry p50 in observed range" true (p50 >= 10.0 && p50 <= 30.0);
+      check Alcotest.bool "registry percentiles ordered" true (p50 <= p100);
+      (* Bucketed, so p100 is the top bucket's representative clamped
+         into the observed range — within one bucket width of the max. *)
+      check Alcotest.bool "registry p100 near max" true
+        (p100 <= 30.0 && p100 >= 30.0 /. 10.0 ** (1.0 /. 10.0)))
+
 (* --- spans ---------------------------------------------------------- *)
 
 let span_nesting () =
@@ -411,6 +451,7 @@ let suite =
     Alcotest.test_case "registry disabled is a no-op" `Quick registry_disabled_is_noop;
     Alcotest.test_case "histogram quantiles on known data" `Quick histogram_known_quantiles;
     Alcotest.test_case "histogram edge cases" `Quick histogram_edge_cases;
+    Alcotest.test_case "percentile accessors" `Quick histogram_percentiles;
     Alcotest.test_case "span nesting" `Quick span_nesting;
     Alcotest.test_case "span exception unwinds" `Quick span_exception_unwinds;
     Alcotest.test_case "span disabled passthrough" `Quick span_disabled_passthrough;
