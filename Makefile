@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke clean
 
 all:
 	dune build
@@ -15,6 +15,7 @@ check:
 	$(MAKE) serve-smoke
 	$(MAKE) parallel-smoke
 	$(MAKE) mac-smoke
+	$(MAKE) scale-smoke
 
 # Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
 # -j2, asserting the exit-code policy, journal contents, warm-cache
@@ -81,6 +82,19 @@ bench-serve:
 
 bench-serve-full:
 	dune exec bench/main.exe -- --serve --serve-out BENCH_server.json
+
+# Scale suite: the Eq. 6 availability bracket (heuristic column pricing
+# vs the hard-conflict clique upper bound) at 30/100/300/1000 nodes.
+# Gated: auto-vs-exact wire identity at n=30, bracket soundness on
+# every row, and (full mode) the 300-node query under 60 s.
+bench-scale:
+	dune exec bench/main.exe -- --scale --scale-out BENCH_scale.json
+
+# Same suite up to 300 nodes with timings blanked — the identity and
+# soundness gates in seconds, byte-deterministic artifact; part of
+# `make check`.
+scale-smoke:
+	dune exec bench/main.exe -- --scale-quick --scale-out BENCH_scale_quick.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

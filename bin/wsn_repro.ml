@@ -94,6 +94,13 @@ let with_common telem domains run =
       Wsn_parallel.Pool.set_domains domains;
       run ())
 
+let pricer_of_string s =
+  match s with
+  | "exact" -> Wsn_availbw.Column_gen.Exact
+  | "heuristic" -> Wsn_availbw.Column_gen.Heuristic
+  | "auto" -> Wsn_availbw.Column_gen.Auto
+  | other -> die exit_usage "unknown pricer %S (have: exact, heuristic, auto)" other
+
 let e1_cmd =
   let run telem domains = with_common telem domains (fun () -> Wsn_experiments.Scenario1.print ()) in
   Cmd.v (Cmd.info "e1" ~doc:"Scenario I: idle-time estimation vs optimal scheduling")
@@ -355,6 +362,54 @@ let sweep_cmd =
       $ backend $ jobs $ timeout $ retries $ cache_dir $ no_cache $ out $ journal $ resume
       $ retry_failed $ table)
 
+let scale_cmd =
+  let ns =
+    let doc = "Comma-separated topology sizes (nodes) to sweep." in
+    Arg.(value & opt string "30,100,300,1000" & info [ "n"; "nodes" ] ~docv:"SIZES" ~doc)
+  in
+  let pricer =
+    let doc = "Pricing tier: exact, heuristic or auto (default)." in
+    Arg.(value & opt string "auto" & info [ "pricer" ] ~docv:"TIER" ~doc)
+  in
+  let shards =
+    let doc = "Shard cap for heuristic pricing (0 = one shard per locality component)." in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let max_iterations =
+    let doc =
+      "Cap on master solves per query (0 = library default).  Heuristic tiers are \
+       anytime: a cap trades wall time for bracket gap."
+    in
+    Arg.(value & opt int 0 & info [ "max-iterations" ] ~docv:"N" ~doc)
+  in
+  let run telem domains seed ns pricer shards max_iterations =
+    with_common telem domains @@ fun () ->
+    let pricer = pricer_of_string pricer in
+    if shards < 0 then die exit_usage "--shards must be >= 0 (got %d)" shards;
+    if max_iterations < 0 then
+      die exit_usage "--max-iterations must be >= 0 (got %d)" max_iterations;
+    let ns =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 2 -> n
+          | Some n -> die exit_usage "-n sizes must be >= 2 (got %d)" n
+          | None -> die exit_usage "bad size %S in -n" s)
+        (String.split_on_char ',' ns)
+    in
+    if ns = [] then die exit_usage "-n needs at least one size";
+    let max_iterations = if max_iterations = 0 then None else Some max_iterations in
+    Wsn_experiments.Scale.print ~ns ?max_iterations ~pricer ~shards ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "E16: bracket Eq. 6 availability on generated 100-1000-node topologies \
+          (heuristic column pricing vs the hard-conflict clique upper bound)")
+    Term.(
+      const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ ns $ pricer $ shards
+      $ max_iterations)
+
 let topo_cmd =
   let run telem domains seed =
     with_common telem domains (fun () ->
@@ -427,7 +482,20 @@ let serve_cmd =
     let doc = "Routing metric for admits and queries: hop-count, e2eTD or average-e2eD." in
     Arg.(value & opt string "average-e2eD" & info [ "metric" ] ~docv:"NAME" ~doc)
   in
-  let run telem domains seed socket client gen_trace cold batch metric max_conns =
+  let pricer =
+    let doc =
+      "Column pricing tier for warm queries: $(b,exact) (default; branch-and-bound every \
+       round), $(b,heuristic) (greedy, uncertified lower bounds) or $(b,auto) (heuristic \
+       with exact certification on small universes — byte-identical to exact at the \
+       paper's scale)."
+    in
+    Arg.(value & opt string "exact" & info [ "pricer" ] ~docv:"TIER" ~doc)
+  in
+  let shards =
+    let doc = "Shard cap for heuristic pricing (0 = one shard per locality component)." in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let run telem domains seed socket client gen_trace cold batch metric pricer shards max_conns =
     with_common telem domains @@ fun () ->
     match gen_trace with
     | Some n ->
@@ -443,6 +511,8 @@ let serve_cmd =
             (String.concat ", " (List.map Metrics.name Metrics.all))
       in
       if batch < 1 then die exit_usage "--batch must be >= 1 (got %d)" batch;
+      let pricer = pricer_of_string pricer in
+      if shards < 0 then die exit_usage "--shards must be >= 0 (got %d)" shards;
       (match max_conns with
        | Some n when n < 1 -> die exit_usage "--max-conns must be >= 1 (got %d)" n
        | Some _ | None -> ());
@@ -465,11 +535,13 @@ let serve_cmd =
         let mode = if cold then Wsn_admission.Session.Cold else Wsn_admission.Session.Warm in
         match socket with
         | None ->
-          let session = Wsn_admission.Session.create ~metric ~mode ~topo ~model () in
+          let session =
+            Wsn_admission.Session.create ~metric ~pricer ~shards ~mode ~topo ~model ()
+          in
           Wsn_admission.Server.run_stdio ~session ~batch Unix.stdin Unix.stdout
         | Some path ->
           let make_session () =
-            Wsn_admission.Session.create ~metric ~mode ~topo
+            Wsn_admission.Session.create ~metric ~pricer ~shards ~mode ~topo
               ~model:(Wsn_conflict.Model.fork_view model) ()
           in
           Wsn_admission.Server.run_socket ~make_session ~batch ?max_conns ~path ()))
@@ -481,7 +553,7 @@ let serve_cmd =
           Unix socket, warm-started LP queries against a resident topology")
     Term.(
       const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ socket $ client $ gen_trace
-      $ cold $ batch $ metric $ max_conns)
+      $ cold $ batch $ metric $ pricer $ shards $ max_conns)
 
 let () =
   let doc = "Reproduction of 'Available Bandwidth in Multirate and Multihop WSNs' (ICDCS'09)" in
@@ -497,7 +569,7 @@ let () =
     Cmd.group info
       [
         e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e12_cmd; e13_cmd; e14_cmd; fig2_cmd;
-        ablations_cmd; sweep_cmd; topo_cmd; serve_cmd; all_cmd;
+        ablations_cmd; sweep_cmd; scale_cmd; topo_cmd; serve_cmd; all_cmd;
       ]
   in
   (* Map Cmdliner's evaluation outcomes onto the uniform exit codes

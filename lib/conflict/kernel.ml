@@ -12,6 +12,8 @@ let m_cache_misses = Telemetry.counter "kernel.cache_misses"
 
 let m_rate_evals = Telemetry.counter "kernel.rate_evals"
 
+let m_interf_rows = Telemetry.counter "kernel.interf_rows"
+
 let m_rate_rechecks = Telemetry.counter "kernel.rate_rechecks"
 
 let m_inc_adds = Telemetry.counter "kernel.inc_adds"
@@ -38,12 +40,41 @@ type t = {
   signal : float array;  (* received signal power at link l's receiver *)
   sens_ok : bool array array;  (* sens_ok.(l).(r): signal clears rate r's sensitivity *)
   snr_req : float array;  (* linear SNR requirement per rate *)
-  interf : float array array;  (* interf.(i).(j): power at rx(j) from tx(i) *)
+  tx : int array;  (* transmitter node of each link *)
+  rx : int array;  (* receiver node of each link *)
+  interf : float array Atomic.t array;
+      (* interf.(i): lazily materialised row of powers at rx(j) from
+         tx(i), [||] until first touched.  Rows are pure functions of
+         the topology, so racing fills publish identical contents and
+         compare-and-set keeps exactly one. *)
   hd : Bitset.t array;  (* hd.(l): links sharing an endpoint with l, incl. l *)
   alone : Rate.t list array;
   cache : entry option Cache.t;
   scratch : (string, exn) Hashtbl.t;
 }
+
+(* The full interference matrix is O(links²) floats — ~800 MB at a
+   thousand nodes — while any one query only ever combines links of its
+   universe.  Rows therefore materialise on first touch; the empty
+   array is the unfilled sentinel (a real row has [n_links] ≥ 1
+   entries whenever anything can be looked up). *)
+let interf_row k i =
+  let cell = k.interf.(i) in
+  let row = Atomic.get cell in
+  if Array.length row > 0 then row
+  else begin
+    let phy = Topology.phy k.topo in
+    let row' =
+      Array.init k.n_links (fun j ->
+          if i = j then 0.0
+          else Phy.received_power phy (Topology.node_distance k.topo k.tx.(i) k.rx.(j)))
+    in
+    if Atomic.compare_and_set cell row row' then begin
+      Telemetry.incr m_interf_rows;
+      row'
+    end
+    else Atomic.get cell
+  end
 
 let create topo =
   Telemetry.incr m_builds;
@@ -60,19 +91,19 @@ let create topo =
     Array.init nl (fun l -> Array.init nr (fun r -> signal.(l) >= Phy.sensitivity phy r))
   in
   let snr_req = Array.init nr (fun r -> Rate.snr_linear rates r) in
-  let interf =
-    Array.init nl (fun i ->
-        Array.init nl (fun j ->
-            if i = j then 0.0
-            else Phy.received_power phy (Topology.node_distance topo tx.(i) rx.(j))))
-  in
+  let interf = Array.init nl (fun _ -> Atomic.make [||]) in
+  (* Half-duplex adjacency from node→link incidence lists: O(links ·
+     degree) instead of the all-pairs O(links²) endpoint scan. *)
+  let incident = Array.make (Topology.n_nodes topo) [] in
+  for m = nl - 1 downto 0 do
+    incident.(tx.(m)) <- m :: incident.(tx.(m));
+    if rx.(m) <> tx.(m) then incident.(rx.(m)) <- m :: incident.(rx.(m))
+  done;
   let hd =
     Array.init nl (fun l ->
         let b = Bitset.create nl in
-        for m = 0 to nl - 1 do
-          if tx.(l) = tx.(m) || tx.(l) = rx.(m) || rx.(l) = tx.(m) || rx.(l) = rx.(m) then
-            Bitset.add b m
-        done;
+        List.iter (Bitset.add b) incident.(tx.(l));
+        List.iter (Bitset.add b) incident.(rx.(l));
         b)
   in
   let alone =
@@ -88,6 +119,8 @@ let create topo =
     signal;
     sens_ok;
     snr_req;
+    tx;
+    rx;
     interf;
     hd;
     alone;
@@ -96,6 +129,8 @@ let create topo =
   }
 
 let n_links k = k.n_links
+
+let topology k = k.topo
 
 let scratch k = k.scratch
 
@@ -149,6 +184,7 @@ let compute_entry k links =
   in
   if not half_duplex_ok then None
   else begin
+    let rows = Array.map (fun l -> interf_row k l) links in
     let rates = Array.make n 0 in
     let ok = ref true in
     let j = ref 0 in
@@ -156,7 +192,7 @@ let compute_entry k links =
       let l = links.(!j) in
       let isum = ref 0.0 in
       for i = 0 to n - 1 do
-        if i <> !j then isum := !isum +. k.interf.(links.(i)).(l)
+        if i <> !j then isum := !isum +. rows.(i).(l)
       done;
       (match best_rate k l ~interference:!isum with
        | Some r -> rates.(!j) <- r
@@ -276,13 +312,14 @@ module Inc = struct
          insertion order. *)
       let il = ref 0.0 in
       for p = 0 to st.count - 1 do
-        il := !il +. k.interf.(st.members_.(p)).(l)
+        il := !il +. (interf_row k st.members_.(p)).(l)
       done;
       match best_rate k l ~interference:!il with
       | None ->
         Telemetry.incr m_inc_rejects;
         false
       | Some rl ->
+        let row_l = interf_row k l in
         (* Each member gains one interference term; anti-monotonicity
            means only the members' rates need rechecking — never the
            pairings already validated. *)
@@ -294,7 +331,7 @@ module Inc = struct
           let m = st.members_.(!p) in
           saved_isum.(!p) <- st.isum.(!p);
           saved_rate.(!p) <- st.rate.(!p);
-          let s = st.isum.(!p) +. k.interf.(l).(m) in
+          let s = st.isum.(!p) +. row_l.(m) in
           (* O(1) recheck before the full scan: growing interference
              can only slow a link down, so when the current maximum
              still clears its SNR requirement (sensitivity is
@@ -370,12 +407,13 @@ module Inc = struct
            the entry and rebuild the interference sums by pure addition
            (ascending order, as both [compute_entry] and the incremental
            accumulation produce) — no SINR work. *)
+        let rows = Array.map (fun l -> interf_row k l) e.e_links in
         for j = 0 to n - 1 do
           st.members_.(j) <- e.e_links.(j);
           st.rate.(j) <- e.e_rates.(j);
           let s = ref 0.0 in
           for i = 0 to n - 1 do
-            if i <> j then s := !s +. k.interf.(e.e_links.(i)).(e.e_links.(j))
+            if i <> j then s := !s +. rows.(i).(e.e_links.(j))
           done;
           st.isum.(j) <- !s
         done;

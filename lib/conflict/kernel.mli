@@ -32,9 +32,18 @@
 type t
 
 val create : Wsn_net.Topology.t -> t
-(** Precompute the kernel: O(links²) work, once per topology. *)
+(** Precompute the kernel: O(links · degree) work, once per topology.
+    Pairwise interference rows are materialised lazily on first touch
+    (and published atomically, so concurrent views may share them), so
+    memory scales with the links actually queried rather than the full
+    O(links²) matrix — the difference between ~800 MB and a few MB on
+    thousand-node topologies. *)
 
 val n_links : t -> int
+
+val topology : t -> Wsn_net.Topology.t
+(** The topology the kernel was built from (for locality partitioning
+    by carrier-sense reach; see {!Pricing_greedy.shards}). *)
 
 val rates : t -> Wsn_radio.Rate.table
 

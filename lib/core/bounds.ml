@@ -16,6 +16,61 @@ let fixed_rate_clique_bound model ~path ~rate_of =
       Float.min acc (1.0 /. time_per_unit))
     infinity cliques
 
+(* A valid upper bound at any scale (unlike Eq. 7, which rate
+   adaptation can beat, and Eq. 9, which enumerates Z^L rate vectors):
+   restrict attention to links that conflict pairwise at their {e most
+   robust} (slowest supported) rates.  Interference power is
+   rate-independent and faster rates only raise the SNR requirement,
+   so such pairs conflict at {e every} rate pair — at any instant at
+   most one link of such a clique transmits, making airtimes disjoint.
+   A link carrying traffic x transmits at most at its best alone rate,
+   so it needs airtime >= x / best, and every hard-conflict clique C
+   yields sum_{l in C} (load_l + f·[l on path]) / best_l <= 1. *)
+let clique_upper model ~background ~path =
+  if path = [] then invalid_arg "Bounds.clique_upper: empty path";
+  let tbl = Model.rates model in
+  let universe = List.sort_uniq compare (Flow.union_links background @ path) in
+  let alone l = Model.alone_rates model l in
+  if List.exists (fun l -> alone l = []) path then 0.0
+  else begin
+    let u = Array.of_list (List.filter (fun l -> alone l <> []) universe) in
+    let n = Array.length u in
+    let best = Array.map (fun l -> Rate.mbps tbl (List.hd (alone l))) u in
+    let slowest = Array.map (fun l -> List.hd (List.rev (alone l))) u in
+    let load = Array.map (fun l -> Flow.load_on background l) u in
+    let onpath = Array.map (fun l -> List.mem l path) u in
+    let memo = Hashtbl.create (4 * n) in
+    let conflict i j =
+      let key = if i < j then (i, j) else (j, i) in
+      match Hashtbl.find_opt memo key with
+      | Some c -> c
+      | None ->
+        let c = Model.interferes model (u.(i), slowest.(i)) (u.(j), slowest.(j)) in
+        Hashtbl.add memo key c;
+        c
+    in
+    let bound = ref infinity in
+    Array.iteri
+      (fun p _ ->
+        if onpath.(p) then begin
+          (* Greedy maximal hard-conflict clique around path link p. *)
+          let members = ref [ p ] in
+          for i = 0 to n - 1 do
+            if i <> p && List.for_all (conflict i) !members then members := i :: !members
+          done;
+          let slack = ref 1.0 and denom = ref 0.0 in
+          List.iter
+            (fun m ->
+              slack := !slack -. (load.(m) /. best.(m));
+              if onpath.(m) then denom := !denom +. (1.0 /. best.(m)))
+            !members;
+          (* denom >= 1/best_p > 0: the clique contains p itself. *)
+          bound := Float.min !bound (!slack /. !denom)
+        end)
+      u;
+    Float.max 0.0 !bound
+  end
+
 (* Cartesian product of per-link rate options, with an explosion guard. *)
 let rate_vectors model ~universe ~limit =
   let options = List.map (fun l -> (l, Model.alone_rates model l)) universe in

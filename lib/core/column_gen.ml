@@ -1,5 +1,6 @@
 module Model = Wsn_conflict.Model
 module Pricing = Wsn_conflict.Pricing
+module Pricing_greedy = Wsn_conflict.Pricing_greedy
 module Rate = Wsn_radio.Rate
 module Schedule = Wsn_sched.Schedule
 module Problem = Wsn_lp.Problem
@@ -18,13 +19,31 @@ let m_pool_hits = Telemetry.counter "colgen.pool_hits"
 
 let m_pool_inserts = Telemetry.counter "colgen.pool_inserts"
 
+let m_heuristic_rounds = Telemetry.counter "colgen.heuristic_rounds"
+
+let m_heuristic_columns = Telemetry.counter "colgen.heuristic_columns"
+
+let m_exact_fallbacks = Telemetry.counter "colgen.exact_fallbacks"
+
+let m_cover_columns = Telemetry.counter "colgen.cover_columns"
+
+let m_uncertified = Telemetry.counter "colgen.uncertified"
+
 let warm_start = ref true
+
+type pricer = Exact | Heuristic | Auto
+
+let auto_exact_max = ref 128
+
+let heuristic_batch = ref 8
 
 type result = {
   bandwidth_mbps : float;
   schedule : Schedule.t;
   columns_generated : int;
+  columns_pooled : int;
   iterations : int;
+  certified : bool;
 }
 
 type column = { assignment : Model.assignment; mbps : (int * float) list }
@@ -122,7 +141,7 @@ let solve_master ~columns ~u ~uindex ~loads ~path =
     let shares = List.map (fun v -> s.Problem.values v) lambda in
     (s.Problem.values f, sigma, weights, shares, total_shortfall s shortfall)
 
-let available_impl ~max_iterations ~warm ~pool model ~background ~path =
+let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~background ~path =
   if path = [] then invalid_arg "Column_gen: empty path";
   if List.length (List.sort_uniq compare path) <> List.length path then
     invalid_arg "Column_gen: repeated link in path";
@@ -147,9 +166,9 @@ let available_impl ~max_iterations ~warm ~pool model ~background ~path =
   (* Pooled columns ride along as extra seeds when every link they use
      is in this query's universe; singletons already seeded above are
      skipped so the master never carries an exact duplicate. *)
-  let seed =
+  let pooled_seed =
     match pool with
-    | None -> seed
+    | None -> []
     | Some p ->
       let reusable =
         List.filter
@@ -161,22 +180,150 @@ let available_impl ~max_iterations ~warm ~pool model ~background ~path =
           (pool_assignments p)
       in
       Telemetry.add m_pool_hits (List.length reusable);
-      seed @ List.map (column_of_assignment tbl) reusable
+      reusable
   in
+  let n_pooled = List.length pooled_seed in
   let record_in_pool assignment =
     match pool with
     | Some p -> if pool_add p assignment then Telemetry.incr m_pool_inserts
     | None -> ()
   in
-  let price weights =
-    Telemetry.incr m_pricing_rounds;
-    Pricing.max_weight_independent model
-      ~weights:(fun l -> weights.(Hashtbl.find uindex l))
-      ~universe
+  (* Carrier-sense locality shards for the heuristic pricer, computed
+     once per query (the partition depends only on the universe). *)
+  let shard_parts =
+    lazy
+      (match pricer with
+       | Exact -> None
+       | Heuristic | Auto ->
+         (match Pricing_greedy.shards model ~max_shards universe with
+          | [] | [ _ ] -> None
+          | ss -> Some ss))
   in
-  let finish ~f ~shares ~shortfall ~pool ~iterations =
-    if shortfall > 1e-6 then None
+  (* Cover seeding, heuristic tiers only, past the exact-fallback
+     threshold: repeatedly run the greedy with already-covered links
+     damped to zero until every link sits in some multi-link column.
+     On large masters the initial cold solve is orders of magnitude
+     cheaper per column than a warm resolve (the singleton basis is
+     near-diagonal; post-pricing resolves stall on degeneracy), so
+     front-loading a spatial-reuse cover lets the first solve already
+     clear the big-M shortfall instead of spending the iteration
+     budget re-deriving a cover one batch at a time. *)
+  let cover_seed =
+    match pricer with
+    | Exact -> []
+    | (Heuristic | Auto) when nu <= !auto_exact_max -> []
+    | Heuristic | Auto ->
+      let used = Hashtbl.create (2 * nu) in
+      let w l = if Hashtbl.mem used l then 0.0 else 1.0 +. loads.(Hashtbl.find uindex l) in
+      let pooled_keys = Hashtbl.create 64 in
+      List.iter (fun a -> Hashtbl.replace pooled_keys (List.sort compare a) ()) pooled_seed;
+      let rec cover acc =
+        match
+          Pricing_greedy.max_weight_independent ?shards:(Lazy.force shard_parts) model
+            ~weights:w ~universe
+        with
+        | Some (a, _) ->
+          (* A returned set has positive value, hence at least one
+             still-unseen link — marking it used guarantees progress
+             even when the column itself is a pool duplicate. *)
+          List.iter (fun (l, _) -> Hashtbl.replace used l ()) a;
+          let fresh = not (Hashtbl.mem pooled_keys (List.sort compare a)) in
+          if fresh then record_in_pool a;
+          cover (if fresh then a :: acc else acc)
+        | None -> List.rev acc
+      in
+      cover []
+  in
+  Telemetry.add m_columns (List.length cover_seed);
+  Telemetry.add m_cover_columns (List.length cover_seed);
+  let seed =
+    seed
+    @ List.map (column_of_assignment tbl) pooled_seed
+    @ List.map (column_of_assignment tbl) cover_seed
+  in
+  (* One pricing round under the configured tier.  The heuristic can
+     only under-price, so a round is {e certified} (proves no improving
+     column exists) only when the exact pricer had the last word.
+
+     Heuristic rounds price a {e batch}: after the first improving
+     column, the greedy is re-run with the links already used this
+     round damped to zero weight, forcing disjoint supports; every
+     batched column is re-valued under the {e original} duals and kept
+     only while it still improves.  Large masters then take one LP
+     resolve per batch instead of per column — the resolve, not the
+     pricer, dominates wall time past a few hundred universe links.
+     The exact tier stays strictly one column per round (the reference
+     behaviour). *)
+  let price ~sigma weights =
+    Telemetry.incr m_pricing_rounds;
+    let w l = weights.(Hashtbl.find uindex l) in
+    let improving = function
+      | Some (assignment, value) when value > sigma +. convergence_eps -> Some assignment
+      | Some _ | None -> None
+    in
+    let heuristic () =
+      Telemetry.incr m_heuristic_rounds;
+      match
+        improving
+          (Pricing_greedy.max_weight_independent ?shards:(Lazy.force shard_parts) model
+             ~weights:w ~universe)
+      with
+      | None -> None
+      | Some first ->
+        Telemetry.incr m_heuristic_columns;
+        let used = Hashtbl.create 16 in
+        let note a = List.iter (fun (l, _) -> Hashtbl.replace used l ()) a in
+        note first;
+        let damped l = if Hashtbl.mem used l then 0.0 else w l in
+        let value_of a =
+          List.fold_left (fun acc (l, r) -> acc +. (w l *. Rate.mbps tbl r)) 0.0 a
+        in
+        let rec batch acc k =
+          if k = 0 then List.rev acc
+          else
+            match
+              Pricing_greedy.max_weight_independent ?shards:(Lazy.force shard_parts)
+                model ~weights:damped ~universe
+            with
+            | Some (a, _) when value_of a > sigma +. convergence_eps ->
+              Telemetry.incr m_heuristic_columns;
+              note a;
+              batch (a :: acc) (k - 1)
+            | Some _ | None -> List.rev acc
+        in
+        Some (first :: batch [] (!heuristic_batch - 1))
+    in
+    let exact () = improving (Pricing.max_weight_independent model ~weights:w ~universe) in
+    match pricer with
+    | Exact -> (match exact () with Some a -> `Improving [ a ] | None -> `Converged true)
+    | Heuristic -> (
+        match heuristic () with
+        | Some cols -> `Improving cols
+        | None ->
+          Telemetry.incr m_uncertified;
+          `Converged false)
+    | Auto -> (
+        match heuristic () with
+        | Some cols -> `Improving cols
+        | None ->
+          if nu <= !auto_exact_max then begin
+            Telemetry.incr m_exact_fallbacks;
+            match exact () with Some a -> `Improving [ a ] | None -> `Converged true
+          end
+          else begin
+            Telemetry.incr m_uncertified;
+            `Converged false
+          end)
+  in
+  let finish ~f ~shares ~shortfall ~pool ~iterations ~certified =
+    if shortfall > 1e-6 && certified then None
     else begin
+      (* Residual shortfall at an uncertified stop (iteration cap or a
+         stalled heuristic) is not an infeasibility proof — more
+         columns might still cover the background — so report the only
+         safe anytime lower bound, zero, rather than [None].  The [f]
+         value is meaningless while the cover is short. *)
+      let f = if shortfall > 1e-6 then 0.0 else f in
       let slots =
         List.map2
           (fun (c : column) share ->
@@ -191,8 +338,12 @@ let available_impl ~max_iterations ~warm ~pool model ~background ~path =
         {
           bandwidth_mbps = f;
           schedule = Schedule.make slots;
-          columns_generated = List.length pool;
+          (* Pool replays are not "generated" — they were priced by an
+             earlier query; count them apart. *)
+          columns_generated = List.length pool - n_pooled;
+          columns_pooled = n_pooled;
           iterations;
+          certified;
         }
     end
   in
@@ -211,62 +362,94 @@ let available_impl ~max_iterations ~warm ~pool model ~background ~path =
         let pool_rev = ref (List.rev seed) in
         let lambda_rev = ref (List.rev lambda_seed) in
         let rec iterate k (s : Problem.solution) =
-          if k > max_iterations then failwith "Column_gen: did not converge";
+          if k > max_iterations then begin
+            (* Anytime semantics for the heuristic tiers: the master
+               optimum over the columns priced so far is a feasible —
+               hence valid, merely uncertified — lower bound.  Only the
+               exact pricer treats cap exhaustion as a bug. *)
+            if pricer = Exact then failwith "Column_gen: did not converge";
+            Telemetry.incr m_uncertified;
+            let shares = List.rev_map (fun v -> s.Problem.values v) !lambda_rev in
+            finish ~f:(s.Problem.values f) ~shares
+              ~shortfall:(total_shortfall s shortfall)
+              ~pool:(List.rev !pool_rev) ~iterations:max_iterations ~certified:false
+          end
+          else begin
           Telemetry.incr m_warm_rounds;
           let sigma, weights = read_duals s ~nu in
-          match price weights with
-          | Some (assignment, value) when value > sigma +. convergence_eps ->
-            record_in_pool assignment;
-            let column = column_of_assignment tbl assignment in
-            let terms =
-              (0, 1.0) :: List.map (fun (l, m) -> (1 + Hashtbl.find uindex l, m)) column.mbps
-            in
-            let v = Problem.add_column w terms in
-            pool_rev := column :: !pool_rev;
-            lambda_rev := v :: !lambda_rev;
-            Telemetry.incr m_columns;
+          match price ~sigma weights with
+          | `Improving assignments ->
+            List.iter
+              (fun assignment ->
+                record_in_pool assignment;
+                let column = column_of_assignment tbl assignment in
+                let terms =
+                  (0, 1.0)
+                  :: List.map (fun (l, m) -> (1 + Hashtbl.find uindex l, m)) column.mbps
+                in
+                let v = Problem.add_column w terms in
+                pool_rev := column :: !pool_rev;
+                lambda_rev := v :: !lambda_rev;
+                Telemetry.incr m_columns)
+              assignments;
             Telemetry.incr m_lp_resolves;
             (match Problem.resolve w with
              | Problem.Infeasible | Problem.Unbounded ->
                failwith "Column_gen: master must be feasible and bounded"
              | Problem.Solution s' -> iterate (k + 1) s')
-          | Some _ | None ->
+          | `Converged certified ->
             let shares = List.rev_map (fun v -> s.Problem.values v) !lambda_rev in
             finish ~f:(s.Problem.values f) ~shares
               ~shortfall:(total_shortfall s shortfall)
-              ~pool:(List.rev !pool_rev) ~iterations:k
+              ~pool:(List.rev !pool_rev) ~iterations:k ~certified
+          end
         in
         iterate 1 s0
     end
     else begin
       let pool_rev = ref (List.rev seed) in
       let rec iterate k =
-        if k > max_iterations then failwith "Column_gen: did not converge";
+        if k > max_iterations && pricer = Exact then
+          failwith "Column_gen: did not converge";
         let pool = List.rev !pool_rev in
         let f, sigma, weights, shares, shortfall = solve_master ~columns:pool ~u ~uindex ~loads ~path in
-        match price weights with
-        | Some (assignment, value) when value > sigma +. convergence_eps ->
-          record_in_pool assignment;
-          pool_rev := column_of_assignment tbl assignment :: !pool_rev;
-          Telemetry.incr m_columns;
+        if k > max_iterations then begin
+          (* Anytime: report the current master optimum uncertified. *)
+          Telemetry.incr m_uncertified;
+          finish ~f ~shares ~shortfall ~pool ~iterations:max_iterations ~certified:false
+        end
+        else
+        match price ~sigma weights with
+        | `Improving assignments ->
+          List.iter
+            (fun assignment ->
+              record_in_pool assignment;
+              pool_rev := column_of_assignment tbl assignment :: !pool_rev;
+              Telemetry.incr m_columns)
+            assignments;
           iterate (k + 1)
-        | Some _ | None ->
-          (* Converged: the master optimum is the true Equation-6 optimum. *)
-          finish ~f ~shares ~shortfall ~pool ~iterations:k
+        | `Converged certified ->
+          (* Certified convergence: the master optimum is the true
+             Equation-6 optimum.  Uncertified: a valid lower bound. *)
+          finish ~f ~shares ~shortfall ~pool ~iterations:k ~certified
       in
       iterate 1
     end
   in
   Wsn_telemetry.Span.with_span "colgen.available" run
 
-let available ?(max_iterations = 1000) ?warm model ~background ~path =
+let available ?(max_iterations = 1000) ?warm ?(pricer = Exact) ?(shards = 0) model
+    ~background ~path =
   let warm = match warm with Some w -> w | None -> !warm_start in
-  available_impl ~max_iterations ~warm ~pool:None model ~background ~path
+  available_impl ~max_iterations ~warm ~pool:None ~pricer ~max_shards:shards model
+    ~background ~path
 
-let available_pooled ?(max_iterations = 1000) pool model ~background ~path =
-  available_impl ~max_iterations ~warm:true ~pool:(Some pool) model ~background ~path
+let available_pooled ?(max_iterations = 1000) ?(pricer = Exact) ?(shards = 0) pool model
+    ~background ~path =
+  available_impl ~max_iterations ~warm:true ~pool:(Some pool) ~pricer ~max_shards:shards
+    model ~background ~path
 
-let path_capacity ?max_iterations ?warm model ~path =
-  match available ?max_iterations ?warm model ~background:[] ~path with
+let path_capacity ?max_iterations ?warm ?pricer ?shards model ~path =
+  match available ?max_iterations ?warm ?pricer ?shards model ~background:[] ~path with
   | Some r -> r
   | None -> failwith "Column_gen.path_capacity: no background cannot be infeasible"

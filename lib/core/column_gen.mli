@@ -14,11 +14,62 @@
     background demands are genuinely unschedulable. *)
 
 type result = {
-  bandwidth_mbps : float;  (** The Equation-6 optimum. *)
+  bandwidth_mbps : float;
+      (** The Equation-6 optimum when [certified]; otherwise a valid
+          lower bound on it. *)
   schedule : Wsn_sched.Schedule.t;  (** Witness schedule. *)
-  columns_generated : int;  (** Columns priced in, including the singleton seed. *)
+  columns_generated : int;
+      (** Columns this query created: the singleton seed plus freshly
+          priced columns.  Pool replays are counted separately. *)
+  columns_pooled : int;
+      (** Columns replayed from the cross-query pool (0 without one). *)
   iterations : int;  (** Master solves until convergence. *)
+  certified : bool;
+      (** Whether the final pricing round proved no improving column
+          exists (exact pricer had the last word).  Always true under
+          {!Exact}; false when the {!Heuristic} tier stalls or {!Auto}
+          skips the exact fallback on a large universe. *)
 }
+
+type pricer =
+  | Exact  (** Branch-and-bound pricing every round (the reference). *)
+  | Heuristic
+      (** {!Wsn_conflict.Pricing_greedy} every round; converges when
+          the heuristic stalls — an uncertified lower bound. *)
+  | Auto
+      (** Heuristic first; when it stalls, fall back to the exact
+          pricer if the universe has at most {!auto_exact_max} links
+          (certifying optimality — and, below that size, reaching the
+          same optimum as {!Exact}), otherwise stop with the
+          heuristic's lower bound.  Bracket it from above with
+          {!Bounds.clique_upper}. *)
+
+val auto_exact_max : int ref
+(** Universe-size ceiling (links) for {!Auto}'s exact fallback
+    (default 128): above it, certification is skipped and the result
+    is a lower bound. *)
+
+val heuristic_batch : int ref
+(** Columns a heuristic pricing round may batch before the master
+    resolves (default 8).  After the first improving column the greedy
+    re-runs with this round's used links damped to zero weight,
+    forcing disjoint supports; each batched column is re-valued under
+    the original duals and kept only while improving.  Past a few
+    hundred universe links the LP resolve dominates wall time, so
+    batching cuts it by up to this factor.  The {!Exact} tier is
+    unaffected (always one column per round). *)
+
+(** {b Cover seeding.}  Under a heuristic tier on a universe above
+    {!auto_exact_max}, the seed additionally contains a greedy {e
+    cover}: the pricer is re-run with already-covered links damped to
+    zero weight until every link sits in some multi-link column.  On
+    large masters the initial cold solve prices in seed columns orders
+    of magnitude cheaper than post-pricing warm resolves (which stall
+    on master degeneracy), so the first solve starts from a
+    spatial-reuse cover instead of spending the iteration budget
+    re-deriving one.  Small universes are untouched — {!Auto} stays
+    wire-identical to {!Exact} there.  Telemetry:
+    [colgen.cover_columns]. *)
 
 val warm_start : bool ref
 (** Default master strategy (initially [true]).  Warm: one master
@@ -32,19 +83,37 @@ val warm_start : bool ref
 val available :
   ?max_iterations:int ->
   ?warm:bool ->
+  ?pricer:pricer ->
+  ?shards:int ->
   Wsn_conflict.Model.t ->
   background:Flow.t list ->
   path:int list ->
   result option
 (** Column-generation counterpart of {!Path_bandwidth.available}; same
-    contract ([None] = background infeasible).  [warm] overrides
-    {!warm_start} for this call.
+    contract ([None] = background infeasible).  [None] is itself a
+    certificate, so only the exact pricer (or {!Auto}'s exact
+    fallback) ever returns it; an uncertified stop that has not yet
+    covered the background reports [Some] with a zero lower bound
+    instead.  [warm] overrides
+    {!warm_start} for this call.  [pricer] (default {!Exact}) selects
+    the pricing tier; [shards] (default 0 = one shard per
+    carrier-sense locality component) caps the heuristic's shard
+    count.
     @raise Invalid_argument on an empty or repeated-link path.
-    @raise Failure if [max_iterations] (default 1000) master solves do
-    not converge (indicates a pricing bug, not a hard instance). *)
+    @raise Failure under {!Exact} if [max_iterations] (default 1000)
+    master solves do not converge (indicates a pricing bug, not a hard
+    instance).  The heuristic tiers are {e anytime}: at the cap they
+    return the current master optimum as an uncertified lower bound
+    instead of raising, so a caller can trade wall time for gap. *)
 
 val path_capacity :
-  ?max_iterations:int -> ?warm:bool -> Wsn_conflict.Model.t -> path:int list -> result
+  ?max_iterations:int ->
+  ?warm:bool ->
+  ?pricer:pricer ->
+  ?shards:int ->
+  Wsn_conflict.Model.t ->
+  path:int list ->
+  result
 (** No-background convenience, like {!Path_bandwidth.path_capacity}. *)
 
 type pool
@@ -63,6 +132,8 @@ val pool_size : pool -> int
 
 val available_pooled :
   ?max_iterations:int ->
+  ?pricer:pricer ->
+  ?shards:int ->
   pool ->
   Wsn_conflict.Model.t ->
   background:Flow.t list ->
@@ -70,7 +141,8 @@ val available_pooled :
   result option
 (** As {!available} with [~warm:true], additionally seeding the master
     from [pool] (columns whose links all lie in this query's universe)
-    and recording every newly priced assignment back into it.  The pool
-    must only ever be used with one model.  Telemetry:
-    [colgen.pool_hits] counts replayed seeds, [colgen.pool_inserts]
-    newly recorded assignments. *)
+    and recording every newly priced assignment back into it — under a
+    heuristic tier the warm pool thus seeds the greedy pricer's
+    starting masters across queries.  The pool must only ever be used
+    with one model.  Telemetry: [colgen.pool_hits] counts replayed
+    seeds, [colgen.pool_inserts] newly recorded assignments. *)

@@ -34,6 +34,8 @@ type t = {
   topo : Topology.t;
   model : Model.t;
   metric : Metrics.t;
+  pricer : Column_gen.pricer;  (* Warm pricing tier; Cold ignores it *)
+  shards : int;
   pool : Column_gen.pool option;  (* [Some] iff Warm *)
   (* Warm transcript memo: (ordered background, path) ↦ availability.
      Keys are exact, so a hit replays a computation the cold mode would
@@ -55,12 +57,15 @@ let count t key =
 
 let bump t key = incr (count t key)
 
-let create ?(metric = Metrics.Average_e2e_delay) ~mode ~topo ~model () =
+let create ?(metric = Metrics.Average_e2e_delay) ?(pricer = Column_gen.Exact) ?(shards = 0)
+    ~mode ~topo ~model () =
   {
     smode = mode;
     topo;
     model;
     metric;
+    pricer;
+    shards;
     pool = (match mode with Warm -> Some (Column_gen.create_pool ()) | Cold -> None);
     answers = Hashtbl.create 64;
     flows = [];
@@ -123,7 +128,10 @@ let availability t path =
       Some v
     | None -> (
       let pool = Option.get t.pool in
-      match Column_gen.available_pooled pool t.model ~background:bg ~path with
+      match
+        Column_gen.available_pooled ~pricer:t.pricer ~shards:t.shards pool t.model
+          ~background:bg ~path
+      with
       | Some r ->
         Hashtbl.replace t.answers key r.Column_gen.bandwidth_mbps;
         Some r.Column_gen.bandwidth_mbps

@@ -30,6 +30,8 @@ type t
 
 val create :
   ?metric:Wsn_routing.Metrics.t ->
+  ?pricer:Wsn_availbw.Column_gen.pricer ->
+  ?shards:int ->
   mode:mode ->
   topo:Wsn_net.Topology.t ->
   model:Wsn_conflict.Model.t ->
@@ -37,7 +39,13 @@ val create :
   t
 (** [create ~mode ~topo ~model ()] starts an empty session.  [metric]
     (default [Average_e2e_delay], the paper's best router) drives path
-    selection for admits and queries. *)
+    selection for admits and queries.  [pricer] (default
+    {!Wsn_availbw.Column_gen.Exact}) selects the pricing tier for a
+    [Warm] session's column-generation queries, [shards] its
+    heuristic shard cap; on Fig.-2-scale topologies [Auto] answers
+    byte-identically to [Exact] (the universe stays within the exact
+    fallback's ceiling) while scaling to topologies the exact pricer
+    cannot touch.  A [Cold] session ignores both (full enumeration). *)
 
 val mode : t -> mode
 

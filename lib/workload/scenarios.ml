@@ -103,6 +103,47 @@ module Random_scenario = struct
     }
 end
 
+module Scale_scenario = struct
+  type t = {
+    topology : Wsn_net.Topology.t;
+    model : Model.t;
+    flows : (int * int * float) list;
+  }
+
+  (* Scaling the paper's 400 × 600 rectangle by sqrt(n/30) keeps the
+     node density — and hence the expected degree (~10 under the
+     802.11a PHY) — constant, so the topologies stay connected with
+     high probability and rejection sampling converges at any n. *)
+  let config ~n_nodes =
+    if n_nodes < 2 then invalid_arg "Scale_scenario.config: need at least 2 nodes";
+    let base = Generator.paper_config in
+    let s = sqrt (float_of_int n_nodes /. float_of_int base.Generator.n_nodes) in
+    {
+      base with
+      Generator.n_nodes;
+      width_m = base.Generator.width_m *. s;
+      height_m = base.Generator.height_m *. s;
+    }
+
+  let default_n_flows n_nodes = max 8 (n_nodes / 25)
+
+  let generate ?n_flows ?(demand_mbps = 0.5) ~n_nodes ~seed () =
+    let config = config ~n_nodes in
+    let n_flows =
+      match n_flows with Some n -> n | None -> default_n_flows n_nodes
+    in
+    let streams = Streams.create seed in
+    let topology = Generator.connected_topology (Streams.stream streams "topology") config in
+    let pairs =
+      Generator.random_pairs (Streams.stream streams "flows") ~n_nodes ~count:n_flows
+    in
+    {
+      topology;
+      model = Model.physical topology;
+      flows = List.map (fun (s, d) -> (s, d, demand_mbps)) pairs;
+    }
+end
+
 module Admission_trace = struct
   type op =
     | Admit of { source : int; target : int; demand_mbps : float }

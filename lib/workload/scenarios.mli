@@ -79,6 +79,34 @@ module Random_scenario : sig
       (default 2.0).  Deterministic in [seed]. *)
 end
 
+(** {1 Scale scenarios — large topologies for the heuristic tier} *)
+
+module Scale_scenario : sig
+  type t = {
+    topology : Wsn_net.Topology.t;
+    model : Wsn_conflict.Model.t;
+    flows : (int * int * float) list;  (** (source, destination, demand in Mbit/s). *)
+  }
+
+  val config : n_nodes:int -> Wsn_net.Generator.config
+  (** The paper's placement scaled to [n_nodes] at {e constant
+      density}: the 400 m × 600 m rectangle grows by [sqrt (n/30)] in
+      each dimension, keeping the expected node degree (~10 under the
+      802.11a PHY) — and with it connectivity — independent of [n].
+      @raise Invalid_argument if [n_nodes < 2]. *)
+
+  val generate :
+    ?n_flows:int -> ?demand_mbps:float -> n_nodes:int -> seed:int64 -> unit -> t
+  (** [generate ~n_nodes ~seed ()] draws a connected uniform-disk
+      multirate topology under {!config} plus [n_flows] (default
+      [max 8 (n_nodes/25)]) random source–destination pairs each
+      demanding [demand_mbps] (default 0.5, light enough that the
+      background stays schedulable at density).  Deterministic in
+      [seed]: the same named PRNG streams as {!Random_scenario}, so
+      [n_nodes = 30] with the paper config's flow parameters matches
+      its draws. *)
+end
+
 (** {1 Admission traces — workload for the admission server} *)
 
 module Admission_trace : sig

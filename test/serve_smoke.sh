@@ -39,6 +39,16 @@ assert "warm == cold byte-identical" cmp -s "$T/warm.txt" "$T/cold.txt"
 assert "batching does not change answers" bash -c \
   "\"$BIN\" serve --batch 1 <\"$T/trace.txt\" | cmp -s - \"$T/warm.txt\""
 
+# --- heuristic-first pricing: wire-identical at Fig. 2 scale ----------
+# The served model's universe sits under the auto tier's exact-fallback
+# threshold, so every auto answer is certified and — after wire
+# quantisation — byte-identical to the exact transcript.
+assert "auto pricer transcript == exact transcript" bash -c \
+  "\"$BIN\" serve --pricer auto <\"$T/trace.txt\" | cmp -s - \"$T/warm.txt\""
+"$BIN" serve --pricer nonsense </dev/null >/dev/null 2>"$T/pricer-err.txt"
+assert "unknown pricer exits 2" test $? -eq 2
+assert "unknown pricer names the flag" grep -q pricer "$T/pricer-err.txt"
+
 # --- shutdown request ends a stdio session mid-stream -----------------
 { head -5 "$T/trace.txt"; echo '{"op":"shutdown"}'; cat "$T/trace.txt"; } \
   >"$T/with-shutdown.txt"

@@ -197,4 +197,187 @@ let warm_suite =
     Alcotest.test_case "warm physical chain" `Slow test_warm_physical_chain;
   ]
 
-let suite = suite @ warm_suite
+(* --- heuristic pricing tier ------------------------------------------ *)
+
+module Pricing_greedy = Wsn_conflict.Pricing_greedy
+module Generator = Wsn_net.Generator
+module Proto = Wsn_admission.Protocol
+
+(* A small random physical instance: a connected uniform-disk topology
+   (8-16 nodes in a paper-density area) with a handful of routed
+   flows, the same shape the scale experiment queries at 30-1000
+   nodes. *)
+let random_physical_instance seed =
+  let n_nodes = 8 + (seed mod 9) in
+  let streams = Wsn_prng.Streams.create (Int64.of_int (1_000 + seed)) in
+  let cfg =
+    { (Wsn_workload.Scenarios.Scale_scenario.config ~n_nodes:30) with Generator.n_nodes }
+  in
+  let topo = Generator.connected_topology (Wsn_prng.Streams.stream streams "topology") cfg in
+  let model = Model.physical topo in
+  let pairs =
+    Generator.random_pairs (Wsn_prng.Streams.stream streams "flows") ~n_nodes ~count:3
+  in
+  let idleness _ = 1.0 in
+  let paths =
+    List.filter_map
+      (fun (s, d) ->
+        Wsn_routing.Router.find_path topo
+          ~metric:Wsn_routing.Metrics.E2e_transmission_delay ~idleness ~source:s ~target:d)
+      pairs
+  in
+  (model, paths)
+
+(* Every assignment the greedy pricer returns must be feasible under
+   the model it priced against: re-validate with a whole-set
+   [max_vector] query (the kernel's incremental add/undo is exactly
+   what built it, so this also cross-checks Inc against the batch
+   path) and require the claimed rates to be the true maxima. *)
+let qcheck_heuristic_columns_feasible =
+  QCheck.Test.make ~name:"heuristic pricer only emits feasible assignments" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let model, paths = random_physical_instance seed in
+      match paths with
+      | [] -> QCheck.assume_fail ()
+      | _ -> (
+        let universe = List.sort_uniq compare (List.concat paths) in
+        let weights l = 0.1 +. float_of_int ((l * 7919) mod 13) in
+        match Pricing_greedy.max_weight_independent model ~weights ~universe with
+        | None -> true
+        | Some (assignment, value) -> (
+          let links = List.map fst assignment in
+          match Model.max_vector model links with
+          | None -> false (* claimed set is not even feasible *)
+          | Some rates ->
+            let rates_ok =
+              List.for_all2 (fun (_, r) r' -> r = r') assignment (Array.to_list rates)
+            in
+            let value' =
+              List.fold_left
+                (fun acc (l, r) -> acc +. (weights l *. Rate.mbps (Model.rates model) r))
+                0.0 assignment
+            in
+            rates_ok && Float.abs (value -. value') < 1e-9)))
+
+(* The heuristic can only miss value, never exceed the exact pricer. *)
+let qcheck_heuristic_below_exact =
+  QCheck.Test.make ~name:"heuristic pricer value <= exact pricer value" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let model, paths = random_physical_instance seed in
+      match paths with
+      | [] -> QCheck.assume_fail ()
+      | _ -> (
+        let universe = List.sort_uniq compare (List.concat paths) in
+        let weights l = 0.1 +. float_of_int ((l * 104_729) mod 11) in
+        let heuristic = Pricing_greedy.max_weight_independent model ~weights ~universe in
+        let exact = Pricing.max_weight_independent model ~weights ~universe in
+        match (heuristic, exact) with
+        | Some (_, h), Some (_, e) -> h <= e +. 1e-6
+        | None, _ -> true
+        | Some _, None -> false))
+
+(* Auto tier on paper-scale instances: the universe is far below
+   [auto_exact_max], so the exact fallback certifies and the result is
+   the same optimum as the exact tier — byte-identical through the
+   wire quantisation the admission server gates on. *)
+let qcheck_auto_equals_exact =
+  QCheck.Test.make ~name:"auto pricer = exact pricer (wire-identical, small instances)"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let model, paths = random_physical_instance seed in
+      match paths with
+      | [] | [ _ ] -> QCheck.assume_fail ()
+      | path :: rest ->
+        let background = List.map (fun p -> Flow.make ~path:p ~demand_mbps:0.4) rest in
+        let auto = Column_gen.available ~pricer:Column_gen.Auto model ~background ~path in
+        let exact = Column_gen.available ~pricer:Column_gen.Exact model ~background ~path in
+        (match (auto, exact) with
+         | Some a, Some e ->
+           a.Column_gen.certified
+           && Proto.mbps a.Column_gen.bandwidth_mbps = Proto.mbps e.Column_gen.bandwidth_mbps
+         | None, None -> true
+         | _ -> false))
+
+(* Declared models exercise the kernel-less builder path. *)
+let qcheck_auto_equals_exact_declared =
+  QCheck.Test.make ~name:"auto = exact on random declared models" ~count:40
+    QCheck.(pair (int_bound 100_000) (float_range 0.0 12.0))
+    (fun (seed, load) ->
+      let rng = Wsn_prng.Pcg32.create (Int64.of_int seed) in
+      let model = Hyp.random_model rng ~n_links:4 in
+      let path = [ 0; 1; 2; 3 ] in
+      let background = if load > 0.5 then [ Flow.make ~path:[ 2 ] ~demand_mbps:load ] else [] in
+      let auto = Column_gen.available ~pricer:Column_gen.Auto model ~background ~path in
+      let exact = Column_gen.available ~pricer:Column_gen.Exact model ~background ~path in
+      match (auto, exact) with
+      | Some a, Some e ->
+        a.Column_gen.certified
+        && Float.abs (a.Column_gen.bandwidth_mbps -. e.Column_gen.bandwidth_mbps) < 1e-6
+      | None, None -> true
+      | _ -> false)
+
+let test_heuristic_tier_uncertified_lower_bound () =
+  (* Pure heuristic tier on the chain: a valid lower bound on 16.2,
+     flagged uncertified or — if the greedy happens to stall at the
+     optimum — still never above it. *)
+  let r = Column_gen.path_capacity ~pricer:Column_gen.Heuristic S2.model ~path:S2.path in
+  check Alcotest.bool "lower bound" true (r.Column_gen.bandwidth_mbps <= 16.2 +. 1e-6);
+  check Alcotest.bool "positive" true (r.Column_gen.bandwidth_mbps > 0.0);
+  check Alcotest.bool "uncertified" false r.Column_gen.certified;
+  check Alcotest.bool "witness feasible" true
+    (Schedule.is_feasible S2.model r.Column_gen.schedule)
+
+let test_anytime_iteration_cap () =
+  (* A one-iteration cap under the heuristic tier must return (not
+     raise) and stay a valid lower bound; Exact keeps raising. *)
+  let r =
+    Column_gen.available ~max_iterations:1 ~pricer:Column_gen.Heuristic S2.model
+      ~background:[] ~path:S2.path
+  in
+  (match r with
+   | Some r ->
+     check Alcotest.bool "anytime lower bound" true
+       (r.Column_gen.bandwidth_mbps <= 16.2 +. 1e-6);
+     check Alcotest.bool "uncertified at cap" false r.Column_gen.certified
+   | None -> Alcotest.fail "heuristic tier must not claim infeasibility");
+  Alcotest.check_raises "exact still raises" (Failure "Column_gen: did not converge")
+    (fun () ->
+      ignore
+        (Column_gen.available ~max_iterations:0 ~pricer:Column_gen.Exact S2.model
+           ~background:[] ~path:S2.path))
+
+let test_shards_partition () =
+  (* Fig. 2 scale: one carrier-sense component (everything is within
+     cs range of something); capping cannot create empty shards, and
+     the shards always partition the universe. *)
+  let model, paths = random_physical_instance 17 in
+  let universe = List.sort_uniq compare (List.concat paths) in
+  let parts = Pricing_greedy.shards model universe in
+  check (Alcotest.list Alcotest.int) "partition covers the universe" universe
+    (List.sort compare (List.concat parts));
+  let capped = Pricing_greedy.shards model ~max_shards:2 universe in
+  check Alcotest.bool "capped" true (List.length capped <= 2);
+  check (Alcotest.list Alcotest.int) "capped partition covers too" universe
+    (List.sort compare (List.concat capped));
+  (* Kernel-less models have no geometry: a single shard. *)
+  let rng = Wsn_prng.Pcg32.create 5L in
+  let declared = Hyp.random_model rng ~n_links:4 in
+  check Alcotest.int "declared: one shard" 1
+    (List.length (Pricing_greedy.shards declared [ 0; 1; 2; 3 ]))
+
+let heuristic_suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_heuristic_columns_feasible;
+    QCheck_alcotest.to_alcotest qcheck_heuristic_below_exact;
+    QCheck_alcotest.to_alcotest qcheck_auto_equals_exact;
+    QCheck_alcotest.to_alcotest qcheck_auto_equals_exact_declared;
+    Alcotest.test_case "heuristic tier lower bound" `Quick
+      test_heuristic_tier_uncertified_lower_bound;
+    Alcotest.test_case "anytime iteration cap" `Quick test_anytime_iteration_cap;
+    Alcotest.test_case "shards partition" `Quick test_shards_partition;
+  ]
+
+let suite = suite @ warm_suite @ heuristic_suite

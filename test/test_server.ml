@@ -24,9 +24,9 @@ let small_world seed =
   let topo = Generator.connected_topology (Pcg32.create seed) small_config in
   (topo, Model.physical topo)
 
-let make_session ?metric mode seed =
+let make_session ?metric ?pricer ?shards mode seed =
   let topo, model = small_world seed in
-  Session.create ?metric ~mode ~topo ~model ()
+  Session.create ?metric ?pricer ?shards ~mode ~topo ~model ()
 
 (* --- json ----------------------------------------------------------- *)
 
@@ -216,8 +216,8 @@ let trace_deterministic () =
 
 (* --- the core property: warm = cold on any interleaving -------------- *)
 
-let run_transcript mode ~topo_seed lines =
-  let s = make_session mode topo_seed in
+let run_transcript ?pricer ?shards mode ~topo_seed lines =
+  let s = make_session ?pricer ?shards mode topo_seed in
   List.mapi (fun i line -> fst (Session.handle_line s ~seq:(i + 1) line)) lines
 
 let qcheck_warm_equals_cold =
@@ -238,6 +238,32 @@ let qcheck_warm_equals_cold =
           (String.concat "\n" warm) (String.concat "\n" cold)
       else true)
 
+(* Heuristic-first pricing behind the wire: at this topology's scale
+   the auto tier always ends with the exact fallback certifying the
+   optimum, so — after wire quantisation — an auto session's transcript
+   is byte-identical to the exact session's on any interleaving.  Runs
+   sharded to cover the fan-out path too. *)
+let qcheck_auto_session_equals_exact =
+  QCheck.Test.make ~name:"auto-pricer session transcript = exact session transcript"
+    ~count:10
+    QCheck.(pair (int_bound 100_000) (int_bound 3))
+    (fun (seed, topo_pick) ->
+      let topo_seed = Int64.of_int (7 + topo_pick) in
+      let trace =
+        Trace.generate ~n_nodes:small_config.Generator.n_nodes ~n_ops:20
+          ~seed:(Int64.of_int seed) ()
+      in
+      let lines = Trace.to_request_lines trace in
+      let exact = run_transcript Session.Warm ~topo_seed lines in
+      let auto =
+        run_transcript ~pricer:Wsn_availbw.Column_gen.Auto ~shards:2 Session.Warm ~topo_seed
+          lines
+      in
+      if auto <> exact then
+        QCheck.Test.fail_reportf "transcripts diverge:@.%s@.vs@.%s"
+          (String.concat "\n" auto) (String.concat "\n" exact)
+      else true)
+
 let suite =
   [
     Alcotest.test_case "json round-trips" `Quick json_roundtrip;
@@ -249,4 +275,5 @@ let suite =
     Alcotest.test_case "stdio transport over pipes" `Quick stdio_transport;
     Alcotest.test_case "admission traces deterministic" `Quick trace_deterministic;
     QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
+    QCheck_alcotest.to_alcotest qcheck_auto_session_equals_exact;
   ]

@@ -67,6 +67,36 @@ let test_random_scenario_custom () =
   check Alcotest.int "3 flows" 3 (List.length s.RS.flows);
   List.iter (fun (_, _, d) -> check float_tol "1 Mbps" 1.0 d) s.RS.flows
 
+module SS = Wsn_workload.Scenarios.Scale_scenario
+
+let test_scale_scenario_deterministic () =
+  let a = SS.generate ~n_nodes:120 ~seed:7L () and b = SS.generate ~n_nodes:120 ~seed:7L () in
+  check Alcotest.int "same link count" (Topology.n_links a.SS.topology)
+    (Topology.n_links b.SS.topology);
+  check Alcotest.bool "same flows" true (a.SS.flows = b.SS.flows)
+
+let test_scale_scenario_connected_and_scaled () =
+  List.iter
+    (fun n ->
+      let s = SS.generate ~n_nodes:n ~seed:7L () in
+      check Alcotest.int "node count" n (Topology.n_nodes s.SS.topology);
+      check Alcotest.bool "connected" true (Topology.is_connected s.SS.topology);
+      check Alcotest.int "flow scaling" (max 8 (n / 25)) (List.length s.SS.flows);
+      List.iter (fun (_, _, d) -> check float_tol "default demand" 0.5 d) s.SS.flows)
+    [ 30; 100 ]
+
+let test_scale_scenario_constant_density () =
+  (* The area grows linearly in n, so nodes-per-square-metre — and with
+     it the expected degree — is size-independent. *)
+  let area n =
+    let c = SS.config ~n_nodes:n in
+    c.Wsn_net.Generator.width_m *. c.Wsn_net.Generator.height_m /. float_of_int n
+  in
+  check (Alcotest.float 1.0) "per-node area constant" (area 30) (area 480);
+  Alcotest.check_raises "too few nodes"
+    (Invalid_argument "Scale_scenario.config: need at least 2 nodes") (fun () ->
+      ignore (SS.config ~n_nodes:1))
+
 let suite =
   [
     Alcotest.test_case "scenario I structure" `Quick test_scenario_i_structure;
@@ -77,4 +107,9 @@ let suite =
     Alcotest.test_case "random scenario seed matters" `Quick test_random_scenario_seed_matters;
     Alcotest.test_case "random scenario paper shape" `Quick test_random_scenario_paper_shape;
     Alcotest.test_case "random scenario custom" `Quick test_random_scenario_custom;
+    Alcotest.test_case "scale scenario deterministic" `Quick test_scale_scenario_deterministic;
+    Alcotest.test_case "scale scenario connected and scaled" `Slow
+      test_scale_scenario_connected_and_scaled;
+    Alcotest.test_case "scale scenario constant density" `Quick
+      test_scale_scenario_constant_density;
   ]
