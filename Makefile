@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke bench-soak soak-smoke clean
 
 all:
 	dune build
@@ -16,6 +16,7 @@ check:
 	$(MAKE) parallel-smoke
 	$(MAKE) mac-smoke
 	$(MAKE) scale-smoke
+	$(MAKE) soak-smoke
 
 # Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
 # -j2, asserting the exit-code policy, journal contents, warm-cache
@@ -95,6 +96,20 @@ bench-scale:
 # `make check`.
 scale-smoke:
 	dune exec bench/main.exe -- --scale-quick --scale-out BENCH_scale_quick.json
+
+# Soak suite: a seeded 24 h dynamic scenario (flow churn, diurnal load,
+# node join/leave, waypoint drift) replayed under incremental
+# (Sim.apply_delta) and full-rebuild kernel maintenance.  Gated:
+# byte-identical kernels and rows across the modes, a trackable probe,
+# and (full mode) >= 2x prepare speedup over the churn epochs of the
+# 300-node upkeep profile.
+bench-soak:
+	dune exec bench/main.exe -- --soak --soak-out BENCH_soak.json
+
+# Same suite on a short horizon with timings blanked — the identity
+# gates in seconds, byte-deterministic artifact; part of `make check`.
+soak-smoke:
+	dune exec bench/main.exe -- --soak-quick --soak-out BENCH_soak_quick.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

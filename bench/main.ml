@@ -947,6 +947,131 @@ let scale_bench ~seed ~quick ~out () =
   end;
   if !failed then exit 1
 
+(* --- soak suite: dynamic scenarios, incremental kernel upkeep ------- *)
+
+module Dscenario = Wsn_dynamics.Scenario
+module Dsoak = Wsn_dynamics.Soak
+
+(* Replays one seeded time-varying scenario under both kernel
+   maintenance modes.  Gated claims: (1) identity — the incremental
+   [Sim.apply_delta] chain yields byte-identical kernels (digest per
+   epoch) and identical mode-independent rows to per-epoch full
+   rebuilds, at both the tracked size and the profile size
+   (unconditionally, quick and full); (2) the probe was trackable in
+   at least one epoch (unconditionally); (3) speed — summed over the
+   churn epochs of the profile scenario (no LP/MAC, kernel upkeep
+   only, at a size where prepare is measurable), patching is at least
+   2x faster than rebuilding (full mode only; quick blanks every
+   timing so the artifact is a pure function of the seed). *)
+let soak_bench ~seed ~quick ~out () =
+  let epochs = if quick then 12 else 48 in
+  let horizon_h = if quick then 6.0 else 24.0 in
+  let window_us = if quick then 200_000 else 1_000_000 in
+  Printf.printf "soak suite: %s mode, seed %Ld, %d epochs / %.0f h\n%!"
+    (if quick then "quick" else "full") seed epochs horizon_h;
+  let params = { Dscenario.default with Dscenario.epochs; horizon_h } in
+  let sc = Dscenario.generate ~params ~seed () in
+  let timed_run mode =
+    let t0 = Unix.gettimeofday () in
+    let t = Dsoak.run ~mode ~window_us sc in
+    (t, Unix.gettimeofday () -. t0)
+  in
+  let inc, wall_inc = timed_run Dsoak.Incremental in
+  let reb, wall_reb = timed_run Dsoak.Rebuild in
+  let digests t = List.map (fun r -> r.Dsoak.kernel_digest) t.Dsoak.rows in
+  let digests_identical = digests inc = digests reb in
+  let outputs_identical = Dsoak.artifact inc = Dsoak.artifact reb in
+  let tracked =
+    List.length (List.filter (fun r -> r.Dsoak.tracked) inc.Dsoak.rows)
+  in
+  let churn =
+    List.length
+      (List.filter (fun r -> r.Dsoak.kernel_op = Dsoak.Patched) inc.Dsoak.rows)
+  in
+  Printf.printf
+    "  n=%d: tracked=%d/%d churn=%d kernels identical=%b rows identical=%b %.2fs/%.2fs\n%!"
+    Dscenario.default.Dscenario.n_nodes tracked epochs churn digests_identical
+    outputs_identical wall_inc wall_reb;
+  (* Kernel-upkeep profile: same timeline shape at a size where a full
+     prepare is measurable, world + kernels only (track:false), so the
+     sums isolate exactly the patched path vs the rebuilt path. *)
+  let profile_n = if quick then 60 else 300 in
+  let pparams =
+    { Dscenario.default with Dscenario.n_nodes = profile_n; epochs; horizon_h }
+  in
+  let psc = Dscenario.generate ~params:pparams ~seed () in
+  let pinc = Dsoak.run ~mode:Dsoak.Incremental ~track:false psc in
+  let preb = Dsoak.run ~mode:Dsoak.Rebuild ~track:false psc in
+  let profile_identical = digests pinc = digests preb in
+  let churn_idx =
+    List.filter_map
+      (fun r ->
+        if r.Dsoak.kernel_op = Dsoak.Patched then Some r.Dsoak.index else None)
+      pinc.Dsoak.rows
+  in
+  let churn_sum t =
+    List.fold_left
+      (fun a r ->
+        if List.mem r.Dsoak.index churn_idx then a +. r.Dsoak.prepare_s else a)
+      0.0 t.Dsoak.rows
+  in
+  let inc_prepare_s = churn_sum pinc in
+  let reb_prepare_s = churn_sum preb in
+  let speedup = if inc_prepare_s > 0.0 then reb_prepare_s /. inc_prepare_s else 0.0 in
+  Printf.printf
+    "  profile n=%d: churn=%d rebuild=%.4fs incremental=%.4fs speedup=%.1fx identical=%b\n%!"
+    profile_n (List.length churn_idx) reb_prepare_s inc_prepare_s speedup
+    profile_identical;
+  let w t = if quick then 0.0 else t in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6f" v in
+  let errors_json errs =
+    String.concat ", "
+      (List.map (fun (name, e) -> Printf.sprintf "\"%s\": %s" name (num e)) errs)
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"quick\": %b,\n  \"seed\": %Ld,\n  \"n_nodes\": %d,\n  \"epochs\": %d,\n\
+    \  \"horizon_h\": %.3f,\n  \"window_us\": %d,\n  \"tracked_epochs\": %d,\n\
+    \  \"churn_epochs\": %d,\n  \"kernel_digests_identical\": %b,\n\
+    \  \"rows_identical\": %b,\n  \"tracking_error_mbps\": { %s },\n\
+    \  \"staleness_error_mbps\": { %s },\n  \"wall_incremental_s\": %.6f,\n\
+    \  \"wall_rebuild_s\": %.6f,\n  \"simulated_hours_per_s\": %.3f,\n\
+    \  \"profile\": { \"n_nodes\": %d, \"churn_epochs\": %d, \"digests_identical\": %b,\n\
+    \    \"rebuild_prepare_s\": %.6f, \"incremental_prepare_s\": %.6f, \"speedup\": %.3f }\n}\n"
+    quick seed Dscenario.default.Dscenario.n_nodes epochs horizon_h window_us
+    tracked churn digests_identical outputs_identical
+    (errors_json (Dsoak.tracking_errors inc))
+    (errors_json (Dsoak.staleness_errors inc))
+    (w wall_inc) (w wall_reb)
+    (w (if wall_inc > 0.0 then horizon_h /. wall_inc else 0.0))
+    profile_n (List.length churn_idx) profile_identical (w reb_prepare_s)
+    (w inc_prepare_s) (w speedup);
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let failed = ref false in
+  if not digests_identical then begin
+    Printf.eprintf "SOAK FAIL: incremental kernel digests differ from rebuilds\n";
+    failed := true
+  end;
+  if not outputs_identical then begin
+    Printf.eprintf "SOAK FAIL: incremental rows differ from rebuild rows\n";
+    failed := true
+  end;
+  if not profile_identical then begin
+    Printf.eprintf "SOAK FAIL: profile kernel digests differ from rebuilds (n=%d)\n"
+      profile_n;
+    failed := true
+  end;
+  if tracked = 0 then begin
+    Printf.eprintf "SOAK FAIL: the probe pair was never trackable\n";
+    failed := true
+  end;
+  if (not quick) && speedup < 2.0 then begin
+    Printf.eprintf "SOAK FAIL: churn-epoch prepare speedup %.2fx (< 2x)\n" speedup;
+    failed := true
+  end;
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -978,6 +1103,9 @@ let () =
   let scale_mode = ref false in
   let scale_quick = ref false in
   let scale_out = ref "BENCH_scale.json" in
+  let soak_mode = ref false in
+  let soak_quick = ref false in
+  let soak_out = ref "BENCH_soak.json" in
   Arg.parse
     [
       ( "--seed",
@@ -1009,9 +1137,16 @@ let () =
       ("--scale", Arg.Set scale_mode, " run the scale suite (Eq. 6 bracket at 30-1000 nodes, heuristic pricing)");
       ("--scale-quick", Arg.Unit (fun () -> scale_mode := true; scale_quick := true), " scale suite up to 300 nodes, timing blanked (deterministic artifact)");
       ("--scale-out", Arg.Set_string scale_out, "FILE scale report path (default BENCH_scale.json)");
+      ("--soak", Arg.Set soak_mode, " run the soak suite (dynamic scenario, incremental vs rebuilt kernels, tracking error)");
+      ("--soak-quick", Arg.Unit (fun () -> soak_mode := true; soak_quick := true), " soak suite, short horizon, timing blanked (deterministic artifact)");
+      ("--soak-out", Arg.Set_string soak_out, "FILE soak report path (default BENCH_soak.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE] [--mac|--mac-quick] [--mac-out FILE] [--serve|--serve-quick] [--serve-out FILE]";
+  if !soak_mode then begin
+    soak_bench ~seed:!seed ~quick:!soak_quick ~out:!soak_out ();
+    exit 0
+  end;
   if !scale_mode then begin
     scale_bench ~seed:!seed ~quick:!scale_quick ~out:!scale_out ();
     exit 0

@@ -410,6 +410,55 @@ let scale_cmd =
       const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ ns $ pricer $ shards
       $ max_iterations)
 
+let soak_cmd =
+  let epochs =
+    let doc = "Number of epochs the horizon is cut into." in
+    Arg.(value & opt int 48 & info [ "epochs" ] ~docv:"N" ~doc)
+  in
+  let nodes =
+    let doc = "Node universe size." in
+    Arg.(value & opt int 30 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let horizon =
+    let doc = "Simulated timeline length in hours." in
+    Arg.(value & opt float 24.0 & info [ "horizon-h" ] ~docv:"HOURS" ~doc)
+  in
+  let window =
+    let doc = "MAC measurement window per epoch, in simulated microseconds." in
+    Arg.(value & opt int 1_000_000 & info [ "window-us" ] ~docv:"US" ~doc)
+  in
+  let pricer =
+    let doc = "Column pricing tier for the warm LP re-solves: exact, heuristic or auto (default)." in
+    Arg.(value & opt string "auto" & info [ "pricer" ] ~docv:"TIER" ~doc)
+  in
+  let rebuild =
+    let doc =
+      "Rebuild the MAC kernel from scratch every churn epoch instead of patching it \
+       incrementally.  Output is byte-identical either way (the soak bench gates this); \
+       the flag exists for timing comparisons."
+    in
+    Arg.(value & flag & info [ "rebuild" ] ~doc)
+  in
+  let run telem domains seed epochs nodes horizon window pricer rebuild =
+    with_common telem domains @@ fun () ->
+    if epochs < 1 then die exit_usage "--epochs must be >= 1 (got %d)" epochs;
+    if nodes < 2 then die exit_usage "--nodes must be >= 2 (got %d)" nodes;
+    if horizon <= 0.0 then die exit_usage "--horizon-h must be > 0 (got %g)" horizon;
+    if window < 1 then die exit_usage "--window-us must be >= 1 (got %d)" window;
+    let pricer = pricer_of_string pricer in
+    Wsn_experiments.Soak.print ~seed ~epochs ~n_nodes:nodes ~horizon_h:horizon
+      ~window_us:window ~pricer ~rebuild ()
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "E17: replay a seeded time-varying scenario (flow churn, diurnal load, node \
+          join/leave, waypoint drift) tracking the online estimators against warm LP \
+          ground truth, with incremental per-epoch kernel maintenance")
+    Term.(
+      const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ epochs $ nodes $ horizon
+      $ window $ pricer $ rebuild)
+
 let topo_cmd =
   let run telem domains seed =
     with_common telem domains (fun () ->
@@ -569,7 +618,7 @@ let () =
     Cmd.group info
       [
         e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e12_cmd; e13_cmd; e14_cmd; fig2_cmd;
-        ablations_cmd; sweep_cmd; scale_cmd; topo_cmd; serve_cmd; all_cmd;
+        ablations_cmd; sweep_cmd; scale_cmd; soak_cmd; topo_cmd; serve_cmd; all_cmd;
       ]
   in
   (* Map Cmdliner's evaluation outcomes onto the uniform exit codes

@@ -85,6 +85,70 @@ let prepare topo =
   in
   { p_topo = topo; dist; pow; cs }
 
+(* Incremental kernel patch for a topology whose node set is unchanged
+   but where the nodes in [moved] sit at new positions (mobility, or a
+   join/leave parking a node far outside the arena).  Only the rows,
+   columns and carrier-sense memberships touching a moved node are
+   recomputed — O(|moved| · n) PHY evaluations against [prepare]'s
+   O(n²) — through the very same pure functions, so the patched kernel
+   is byte-identical to a fresh rebuild (QCheck-gated in test_dynamics).
+   The input kernel's arrays are updated in place (the returned value
+   aliases them): treat [apply_delta] as consuming its argument. *)
+let apply_delta pre topo ~moved =
+  let phy = Topology.phy topo in
+  let n = Topology.n_nodes topo in
+  if n <> Array.length pre.dist then
+    invalid_arg "Sim.apply_delta: node count differs from the prepared kernel";
+  let is_moved = Array.make n false in
+  List.iter
+    (fun u ->
+      if u < 0 || u >= n then invalid_arg "Sim.apply_delta: moved node out of range";
+      is_moved.(u) <- true)
+    moved;
+  let dist = pre.dist and pow = pre.pow and cs = pre.cs in
+  for u = 0 to n - 1 do
+    if is_moved.(u) then begin
+      for v = 0 to n - 1 do
+        let d = Topology.node_distance topo u v in
+        dist.(u).(v) <- d;
+        pow.(u).(v) <- Phy.received_power phy d;
+        if not is_moved.(v) then begin
+          (* Symmetric entry: the (v, u) pair also changed.  Computed
+             through the same call the rebuild makes for that entry. *)
+          let d' = Topology.node_distance topo v u in
+          dist.(v).(u) <- d';
+          pow.(v).(u) <- Phy.received_power phy d';
+          if v <> u then begin
+            if Phy.carrier_sensed phy dist.(v).(u) then Bitset.add cs.(v) u
+            else Bitset.remove cs.(v) u
+          end
+        end
+      done;
+      Bitset.clear cs.(u);
+      for v = 0 to n - 1 do
+        if v <> u && Phy.carrier_sensed phy dist.(u).(v) then Bitset.add cs.(u) v
+      done
+    end
+  done;
+  { pre with p_topo = topo }
+
+(* Content digest of the kernel (distances, powers, carrier-sense
+   bitsets — everything but the topology handle), for the byte-identity
+   gates comparing [apply_delta] chains against full rebuilds. *)
+let prepared_digest pre =
+  let buf = Buffer.create (1 lsl 16) in
+  let add_matrix m =
+    Array.iter
+      (fun row -> Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)) row)
+      m
+  in
+  add_matrix pre.dist;
+  add_matrix pre.pow;
+  Array.iter
+    (fun b -> Array.iter (fun w -> Buffer.add_int64_le buf (Int64.of_int w)) (Bitset.words b))
+    pre.cs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* --- reference implementation --------------------------------------- *)
 
 (* The original slot-stepping loop, kept verbatim as the behavioural

@@ -61,6 +61,26 @@ val prepare : Wsn_net.Topology.t -> prepared
     the same topology (replications, config sweeps, benchmarks) skip
     the quadratic setup. *)
 
+val apply_delta : prepared -> Wsn_net.Topology.t -> moved:int list -> prepared
+(** [apply_delta pre topo ~moved] patches [pre] into the kernel of
+    [topo], a topology over the {e same} node set in which exactly the
+    nodes listed in [moved] changed position (mobility drift, or a
+    join/leave relocating a node): only the rows, columns and
+    carrier-sense memberships touching a moved node are recomputed —
+    O(|moved|·n) PHY evaluations instead of O(n²) — through the same
+    pure functions as {!prepare}, so the result is byte-identical to
+    [prepare topo] (the dynamics QCheck suite pins this).  The input
+    kernel is consumed: its arrays are patched in place and aliased by
+    the returned value.
+    @raise Invalid_argument if the node count changed or a moved node
+    is out of range. *)
+
+val prepared_digest : prepared -> string
+(** Hex content digest of the kernel (distance and power matrices,
+    carrier-sense bitsets).  Equal digests mean byte-identical kernels;
+    the soak bench gates {!apply_delta} chains against full rebuilds
+    with it. *)
+
 val run :
   ?config:Dcf_config.t ->
   ?seed:int64 ->

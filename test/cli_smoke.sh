@@ -91,6 +91,25 @@ expect_exit 0 "domains-backend sweep succeeds" \
   "$BIN" sweep --seeds 1..2 --n-flows 2 --backend domains -j 2 --no-cache -o "$T/domains.jsonl"
 assert "domains backend byte-identical to fork" cmp -s "$T/cold.jsonl" "$T/domains.jsonl"
 
+# --- soak: exit-code policy and incremental-vs-rebuild identity -------
+SOAK=(soak --epochs 4 --horizon-h 2 --window-us 100000)
+expect_exit 0 "soak runs" "$BIN" "${SOAK[@]}"
+cp "$T/stdout" "$T/soak.txt"
+assert "soak prints the E17 table" grep -q "E17" "$T/soak.txt"
+expect_exit 0 "soak --rebuild runs" "$BIN" "${SOAK[@]}" --rebuild
+# Only the kernel-maintenance column may differ between the modes.
+strip_kernel() { sed -E 's/ (reuse|build|patch) / KERNEL /' "$1"; }
+assert "soak --rebuild numerically identical to incremental" \
+  test "$(strip_kernel "$T/soak.txt")" = "$(strip_kernel "$T/stdout")"
+expect_exit 0 "soak --domains 2 runs" "$BIN" "${SOAK[@]}" --domains 2
+assert "soak --domains 2 == soak (parallelism is invisible)" cmp -s "$T/soak.txt" "$T/stdout"
+expect_exit 2 "soak --epochs 0 is a usage error" "$BIN" soak --epochs 0
+expect_exit 2 "soak --nodes 1 is a usage error" "$BIN" soak --nodes 1
+expect_exit 2 "soak --horizon-h 0 is a usage error" "$BIN" soak --horizon-h 0
+expect_exit 2 "soak --window-us 0 is a usage error" "$BIN" soak --window-us 0
+expect_exit 2 "soak unknown pricer is a usage error" "$BIN" soak --pricer bogus
+expect_exit 2 "soak --domains 0 is a usage error" "$BIN" soak --domains 0
+
 # --- MAC simulator: the fast path drives E6, domains stay invisible ---
 expect_exit 0 "e6 runs" "$BIN" e6 --seed 30
 cp "$T/stdout" "$T/e6.txt"

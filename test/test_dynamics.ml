@@ -1,0 +1,233 @@
+(* Tests for Wsn_dynamics: scenario timelines, the incremental
+   Sim.apply_delta kernel path, and the soak replay engine. *)
+
+module Scenario = Wsn_dynamics.Scenario
+module Soak = Wsn_dynamics.Soak
+module Sim = Wsn_mac.Sim
+module Topology = Wsn_net.Topology
+module Generator = Wsn_net.Generator
+module Point = Wsn_net.Point
+module Pcg32 = Wsn_prng.Pcg32
+
+let check = Alcotest.check
+
+(* Small fast timeline used by the soak tests. *)
+let small_params =
+  {
+    Scenario.default with
+    Scenario.n_nodes = 20;
+    epochs = 6;
+    horizon_h = 3.0;
+  }
+
+(* --- Sim.apply_delta: byte parity with full rebuilds ---------------- *)
+
+(* Random delta sequences: at each step a random node subset jumps to
+   random positions (some far outside the arena, as a parked node
+   would); the patched kernel chain must digest-match a from-scratch
+   prepare at every step. *)
+let qcheck_apply_delta_parity =
+  QCheck.Test.make ~name:"apply_delta chain is byte-identical to full rebuilds"
+    ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 1 6))
+    (fun (s, steps) ->
+      let rng = Pcg32.create (Int64.of_int s) in
+      let cfg =
+        {
+          Generator.n_nodes = 12;
+          width_m = 300.0;
+          height_m = 300.0;
+          max_placement_attempts = 1000;
+        }
+      in
+      let topo0 = Generator.connected_topology rng cfg in
+      let phy = Topology.phy topo0 in
+      let n = cfg.Generator.n_nodes in
+      let pos = Array.init n (Topology.position topo0) in
+      let pre = ref (Sim.prepare topo0) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let moved = ref [] in
+        for i = n - 1 downto 0 do
+          if Pcg32.next_below rng 3 = 0 then begin
+            pos.(i) <-
+              Point.make
+                (Pcg32.uniform rng (-2_000.0) 2_000.0)
+                (Pcg32.uniform rng (-2_000.0) 2_000.0);
+            moved := i :: !moved
+          end
+        done;
+        if !moved <> [] then begin
+          let topo = Topology.create ~phy (Array.copy pos) in
+          pre := Sim.apply_delta !pre topo ~moved:!moved;
+          if Sim.prepared_digest !pre <> Sim.prepared_digest (Sim.prepare topo)
+          then ok := false
+        end
+      done;
+      !ok)
+
+let test_apply_delta_validates () =
+  let topo = Generator.connected_topology (Pcg32.create 5L) Generator.paper_config in
+  let pre = Sim.prepare topo in
+  Alcotest.check_raises "out-of-range node"
+    (Invalid_argument "Sim.apply_delta: moved node out of range") (fun () ->
+      ignore (Sim.apply_delta pre topo ~moved:[ 99 ]))
+
+(* --- Scenario generation -------------------------------------------- *)
+
+let test_scenario_deterministic () =
+  let a = Scenario.generate ~seed:11L ()
+  and b = Scenario.generate ~seed:11L () in
+  check Alcotest.int "probe source" a.Scenario.probe_source b.Scenario.probe_source;
+  check Alcotest.int "probe target" a.Scenario.probe_target b.Scenario.probe_target;
+  check Alcotest.bool "same timeline" true (a.Scenario.timeline = b.Scenario.timeline);
+  let c = Scenario.generate ~seed:12L () in
+  check Alcotest.bool "seed matters" true
+    (a.Scenario.timeline <> c.Scenario.timeline
+    || a.Scenario.probe_source <> c.Scenario.probe_source)
+
+(* Replay the timeline's own bookkeeping and check every event is
+   consistent at its point in time: departures name a live flow,
+   leaves hit active unpinned nodes, joins hit parked ones, arrivals
+   connect two distinct active nodes, and drift never touches a
+   parked node. *)
+let test_scenario_timeline_valid () =
+  List.iter
+    (fun seed ->
+      let sc = Scenario.generate ~params:small_params ~seed () in
+      let n = small_params.Scenario.n_nodes in
+      let pinned i =
+        i = sc.Scenario.probe_source || i = sc.Scenario.probe_target
+      in
+      check Alcotest.bool "probe distinct" true
+        (sc.Scenario.probe_source <> sc.Scenario.probe_target);
+      let active = Array.make n true in
+      let live = ref 0 in
+      List.iteri
+        (fun i (ep : Scenario.epoch) ->
+          check Alcotest.int "epoch indexed in order" i ep.Scenario.index;
+          if i = 0 then
+            check Alcotest.int "no drift into epoch 0" 0
+              (List.length ep.Scenario.moves);
+          List.iter
+            (fun (u, _) ->
+              check Alcotest.bool "drift only moves active nodes" true
+                (u >= 0 && u < n && active.(u)))
+            ep.Scenario.moves;
+          List.iter
+            (function
+              | Scenario.Flow_arrival { source; target; demand_mbps } ->
+                  check Alcotest.bool "arrival endpoints active and distinct"
+                    true
+                    (source <> target && active.(source) && active.(target));
+                  check Alcotest.bool "arrival demand positive" true
+                    (demand_mbps > 0.0);
+                  incr live
+              | Scenario.Flow_departure k ->
+                  check Alcotest.bool "departure names a live flow" true
+                    (k >= 0 && k < !live);
+                  decr live
+              | Scenario.Node_leave u ->
+                  check Alcotest.bool "leave hits an active unpinned node" true
+                    (active.(u) && not (pinned u));
+                  active.(u) <- false
+              | Scenario.Node_join { node; pos = _ } ->
+                  check Alcotest.bool "join hits a parked node" true
+                    (not active.(node));
+                  active.(node) <- true)
+            ep.Scenario.events)
+        sc.Scenario.timeline;
+      check Alcotest.int "one epoch record per epoch"
+        small_params.Scenario.epochs
+        (List.length sc.Scenario.timeline))
+    [ 1L; 2L; 3L; 4L ]
+
+let test_scenario_validates_params () =
+  Alcotest.check_raises "bad epochs"
+    (Invalid_argument "Wsn_dynamics.Scenario: epochs must be at least 1")
+    (fun () ->
+      ignore
+        (Scenario.generate
+           ~params:{ Scenario.default with Scenario.epochs = 0 }
+           ~seed:1L ()))
+
+let test_park_position_isolated () =
+  (* Parked nodes must be out of carrier-sense range of the arena and
+     of each other: pairwise distances at least 1 km. *)
+  let p i = Scenario.park_position i in
+  check Alcotest.bool "parked nodes mutually distant" true
+    (Point.distance (p 0) (p 1) >= 1_000.0
+    && Point.distance (p 0) (Point.make 0.0 0.0) >= 1_000.0)
+
+(* --- Soak replay ----------------------------------------------------- *)
+
+let small_soak mode =
+  let sc = Scenario.generate ~params:small_params ~seed:9L () in
+  Soak.run ~mode ~window_us:100_000 sc
+
+let test_soak_incremental_equals_rebuild () =
+  let inc = small_soak Soak.Incremental and reb = small_soak Soak.Rebuild in
+  check Alcotest.bool "row artifacts identical" true
+    (Soak.artifact inc = Soak.artifact reb);
+  List.iter2
+    (fun (a : Soak.epoch_row) (b : Soak.epoch_row) ->
+      check Alcotest.string "kernel digest" a.Soak.kernel_digest
+        b.Soak.kernel_digest)
+    inc.Soak.rows reb.Soak.rows
+
+let test_soak_deterministic () =
+  let a = small_soak Soak.Incremental and b = small_soak Soak.Incremental in
+  check Alcotest.bool "same artifact" true (Soak.artifact a = Soak.artifact b)
+
+let test_soak_rows_sound () =
+  let t = small_soak Soak.Incremental in
+  check Alcotest.int "one row per epoch" small_params.Scenario.epochs
+    (List.length t.Soak.rows);
+  check Alcotest.bool "some epoch tracked" true
+    (List.exists (fun r -> r.Soak.tracked) t.Soak.rows);
+  List.iter
+    (fun (r : Soak.epoch_row) ->
+      if r.Soak.tracked then begin
+        check Alcotest.bool "tracked rows carry estimates" true
+          (r.Soak.estimates <> None);
+        check Alcotest.bool "LP truth within its clique upper bound" true
+          (r.Soak.truth_mbps <= r.Soak.upper_mbps +. 1e-6)
+      end
+      else
+        check Alcotest.bool "untracked rows carry no estimates" true
+          (r.Soak.estimates = None))
+    t.Soak.rows
+
+let test_soak_track_false_skips_lp () =
+  let sc = Scenario.generate ~params:small_params ~seed:9L () in
+  let t = Soak.run ~track:false sc in
+  check Alcotest.bool "no epoch tracked" true
+    (List.for_all (fun r -> not r.Soak.tracked) t.Soak.rows);
+  (* Kernel maintenance is unaffected by tracking. *)
+  let full = small_soak Soak.Incremental in
+  List.iter2
+    (fun (a : Soak.epoch_row) (b : Soak.epoch_row) ->
+      check Alcotest.string "same kernel digests" a.Soak.kernel_digest
+        b.Soak.kernel_digest)
+    t.Soak.rows full.Soak.rows
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_apply_delta_parity;
+    Alcotest.test_case "apply_delta validates its input" `Quick
+      test_apply_delta_validates;
+    Alcotest.test_case "scenario deterministic in seed" `Quick
+      test_scenario_deterministic;
+    Alcotest.test_case "scenario timeline self-consistent" `Quick
+      test_scenario_timeline_valid;
+    Alcotest.test_case "scenario validates params" `Quick
+      test_scenario_validates_params;
+    Alcotest.test_case "park positions isolated" `Quick
+      test_park_position_isolated;
+    Alcotest.test_case "soak incremental = rebuild" `Quick
+      test_soak_incremental_equals_rebuild;
+    Alcotest.test_case "soak deterministic" `Quick test_soak_deterministic;
+    Alcotest.test_case "soak rows sound" `Quick test_soak_rows_sound;
+    Alcotest.test_case "soak track:false skips tracking" `Quick
+      test_soak_track_false_skips_lp;
+  ]

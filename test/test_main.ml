@@ -19,6 +19,7 @@ let () =
       ("qos-routing", Test_qos_routing.suite);
       ("mac", Test_mac.suite);
       ("workload", Test_workload.suite);
+      ("dynamics", Test_dynamics.suite);
       ("experiments", Test_experiments.suite);
       ("engine", Test_engine.suite);
       (* Anything that spawns a domain must come after [engine]: OCaml 5

@@ -97,6 +97,37 @@ let test_scale_scenario_constant_density () =
     (Invalid_argument "Scale_scenario.config: need at least 2 nodes") (fun () ->
       ignore (SS.config ~n_nodes:1))
 
+module AT = Wsn_workload.Scenarios.Admission_trace
+
+let qcheck_admission_trace_deterministic =
+  QCheck.Test.make ~name:"admission trace is a pure function of its seed" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun s ->
+      let seed = Int64.of_int s in
+      AT.generate ~n_ops:60 ~seed () = AT.generate ~n_ops:60 ~seed ())
+
+(* The trace generator only emits a release when flows are live, and
+   draws the index below the live count — so replayed against a server
+   that accepts every admit, every release resolves to a prior admit. *)
+let qcheck_admission_trace_releases_match =
+  QCheck.Test.make ~name:"every release names a previously admitted live flow"
+    ~count:50
+    QCheck.(int_bound 100_000)
+    (fun s ->
+      let trace = AT.generate ~n_ops:120 ~seed:(Int64.of_int s) () in
+      let live = ref 0 in
+      List.for_all
+        (function
+          | AT.Admit _ ->
+              incr live;
+              true
+          | AT.Release_nth k ->
+              let ok = k >= 0 && k < !live in
+              decr live;
+              ok
+          | AT.Query _ -> true)
+        trace)
+
 let suite =
   [
     Alcotest.test_case "scenario I structure" `Quick test_scenario_i_structure;
@@ -112,4 +143,6 @@ let suite =
       test_scale_scenario_connected_and_scaled;
     Alcotest.test_case "scale scenario constant density" `Quick
       test_scale_scenario_constant_density;
+    QCheck_alcotest.to_alcotest qcheck_admission_trace_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_admission_trace_releases_match;
   ]
