@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke bench-soak soak-smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke bench-soak soak-smoke bench-master master-smoke clean
 
 all:
 	dune build
@@ -17,6 +17,7 @@ check:
 	$(MAKE) mac-smoke
 	$(MAKE) scale-smoke
 	$(MAKE) soak-smoke
+	$(MAKE) master-smoke
 
 # Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
 # -j2, asserting the exit-code policy, journal contents, warm-cache
@@ -110,6 +111,20 @@ bench-soak:
 # gates in seconds, byte-deterministic artifact; part of `make check`.
 soak-smoke:
 	dune exec bench/main.exe -- --soak-quick --soak-out BENCH_soak_quick.json
+
+# Master-LP suite: the stabilised column-generation master (Devex
+# pricing, dual stabilisation, degenerate-pivot perturbation) vs the
+# Dantzig/unstabilised reference on the scale scenarios.  Wire identity
+# of the two arms is always gated; the >= 3x pivots-per-column and
+# >= 2x resolve-time wins on the 1000-node light-load row only in the
+# full (timed) run.
+bench-master:
+	dune exec bench/main.exe -- --master --master-out BENCH_master.json
+
+# Same suite at 300 nodes with timings blanked — the wire-identity gate
+# in seconds, byte-deterministic artifact; part of `make check`.
+master-smoke:
+	dune exec bench/main.exe -- --master-quick --master-out BENCH_master_quick.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

@@ -1072,6 +1072,168 @@ let soak_bench ~seed ~quick ~out () =
   end;
   if !failed then exit 1
 
+(* --- master suite: stabilised column generation vs reference simplex - *)
+
+(* Runs the same Eq. 6 scale queries under two master-LP
+   configurations: the shipped stabilised arm (Devex pricing + dual
+   stabilisation + degenerate-pivot perturbation) and the reference
+   arm (Dantzig, unstabilised).  Gated claims: (1) wire identity —
+   both arms quantise to the same Protocol.mbps answer with equal
+   certification on every row, unconditionally; (2) full mode only,
+   on the 1000-node light-load row (the degenerate regime the scale
+   suite caps at 40 iterations): the stabilised arm spends >= 3x
+   fewer warm-resolve pivots per generated column and >= 2x less
+   resolve wall time.  Quick mode blanks every timing so the artifact
+   is a pure function of the seed (pivot and column counts are
+   deterministic). *)
+let master_bench ~seed ~quick ~out () =
+  let specs = if quick then [ (300, None) ] else [ (300, None); (1000, Some 0.1) ] in
+  let cap n = if n >= 1000 then Some 40 else None in
+  let demand_of d = match d with Some d -> d | None -> 0.5 (* scenario default *) in
+  Printf.printf "master suite: %s mode, seed %Ld, N in {%s}\n%!"
+    (if quick then "quick" else "full")
+    seed
+    (String.concat ", "
+       (List.map (fun (n, d) -> Printf.sprintf "%d@%.1f" n (demand_of d)) specs));
+  let counter_of snap name =
+    Option.value ~default:0 (List.assoc_opt name snap.Registry.counters)
+  in
+  let hist_sum snap name =
+    match List.assoc_opt name snap.Registry.histograms with
+    | Some d -> d.Registry.sum
+    | None -> 0.0
+  in
+  let span_sum snap name =
+    match List.assoc_opt name snap.Registry.spans with
+    | Some d -> d.Registry.sum
+    | None -> 0.0
+  in
+  (* One arm of one spec, with the registry isolated around the query
+     so the counters attribute to exactly this solve. *)
+  let arm ~lp_pricing ~stabilize (n, demand) =
+    Registry.reset ();
+    Registry.set_enabled true;
+    let r =
+      Scale.query ?max_iterations:(cap n) ?demand_mbps:demand ~pricer:Column_gen.Auto
+        ~lp_pricing ~stabilize ~n_nodes:n ~seed ()
+    in
+    let snap = Registry.snapshot () in
+    Registry.set_enabled false;
+    Registry.reset ();
+    let resolve_pivots = hist_sum snap "lp.pivots_per_resolve" in
+    let columns = counter_of snap "lp.columns_added" in
+    let ppc = resolve_pivots /. Float.max 1.0 (float_of_int columns) in
+    ( r,
+      ppc,
+      span_sum snap "lp.resolve",
+      counter_of snap "lp.degenerate_pivots",
+      counter_of snap "colgen.stab_box_widenings",
+      columns )
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let n, demand = spec in
+        let stab, stab_ppc, stab_resolve_s, stab_degen, widenings, stab_cols =
+          arm ~lp_pricing:Column_gen.Devex ~stabilize:true spec
+        in
+        let refr, ref_ppc, ref_resolve_s, ref_degen, _, ref_cols =
+          arm ~lp_pricing:Column_gen.Dantzig ~stabilize:false spec
+        in
+        Printf.printf
+          "  n=%4d demand=%.1f | stabilised: lower=%.3f certified=%b ppc=%.1f \
+           resolve=%.3fs degen=%d cols=%d widenings=%d | reference: lower=%.3f \
+           certified=%b ppc=%.1f resolve=%.3fs degen=%d cols=%d\n%!"
+          n (demand_of demand)
+          (Proto.mbps stab.Scale.lower_mbps)
+          stab.Scale.certified stab_ppc stab_resolve_s stab_degen stab_cols widenings
+          (Proto.mbps refr.Scale.lower_mbps)
+          refr.Scale.certified ref_ppc ref_resolve_s ref_degen ref_cols;
+        ( spec,
+          (stab, stab_ppc, stab_resolve_s, stab_degen, widenings, stab_cols),
+          (refr, ref_ppc, ref_resolve_s, ref_degen, ref_cols) ))
+      specs
+  in
+  (* Wire identity is the certified-regime contract: an anytime row
+     truncated at the iteration cap may legitimately stop at different
+     lower bounds under different pivot orders.  Rows where both arms
+     certify must agree exactly at wire precision, and at least one
+     such row must exist (the 300-node row certifies in both modes). *)
+  let certified_rows =
+    List.filter
+      (fun (_, (stab, _, _, _, _, _), (refr, _, _, _, _)) ->
+        stab.Scale.certified && refr.Scale.certified)
+      rows
+  in
+  let wire_identical =
+    certified_rows <> []
+    && List.for_all
+         (fun (_, (stab, _, _, _, _, _), (refr, _, _, _, _)) ->
+           Proto.mbps stab.Scale.lower_mbps = Proto.mbps refr.Scale.lower_mbps)
+         certified_rows
+  in
+  Printf.printf "  arms wire-identical on the %d certified row(s): %b\n%!"
+    (List.length certified_rows) wire_identical;
+  let w t = if quick then 0.0 else t in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"quick\": %b,\n  \"seed\": %Ld,\n  \"wire_identical_certified\": %b,\n"
+    quick seed wire_identical;
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i ((n, demand), (stab, sppc, ss, sd, widen, scols), (refr, rppc, rs, rd, rcols)) ->
+      Printf.fprintf oc
+        "    { \"n_nodes\": %d, \"demand_mbps\": %.3f,\n\
+        \      \"stabilised\": { \"lower_mbps\": %.3f, \"certified\": %b, \
+         \"pivots_per_column\": %.3f, \"resolve_s\": %.6f, \"degenerate_pivots\": %d, \
+         \"columns\": %d, \"box_widenings\": %d },\n\
+        \      \"reference\": { \"lower_mbps\": %.3f, \"certified\": %b, \
+         \"pivots_per_column\": %.3f, \"resolve_s\": %.6f, \"degenerate_pivots\": %d, \
+         \"columns\": %d } }%s\n"
+        n (demand_of demand)
+        (Proto.mbps stab.Scale.lower_mbps)
+        stab.Scale.certified sppc (w ss) sd scols widen
+        (Proto.mbps refr.Scale.lower_mbps)
+        refr.Scale.certified rppc (w rs) rd rcols
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let failed = ref false in
+  if not wire_identical then begin
+    Printf.eprintf
+      "MASTER FAIL: stabilised arm is not wire-identical to the reference on a \
+       certified row (or no row certified)\n";
+    failed := true
+  end;
+  (if not quick then
+     match
+       List.find_opt (fun ((n, d), _, _) -> n = 1000 && d <> None) rows
+     with
+     | None ->
+         Printf.eprintf "MASTER FAIL: 1000-node light-load row missing from full run\n";
+         failed := true
+     | Some (_, (_, sppc, ss, _, _, _), (_, rppc, rs, _, _)) ->
+         let ppc_ratio = if sppc > 0.0 then rppc /. sppc else Float.infinity in
+         let time_ratio = if ss > 0.0 then rs /. ss else Float.infinity in
+         Printf.printf
+           "  n=1000 light load: pivots-per-column ratio %.2fx, resolve-time ratio %.2fx\n%!"
+           ppc_ratio time_ratio;
+         if ppc_ratio < 3.0 then begin
+           Printf.eprintf
+             "MASTER FAIL: pivots-per-column only %.2fx better than reference (< 3x)\n"
+             ppc_ratio;
+           failed := true
+         end;
+         if time_ratio < 2.0 then begin
+           Printf.eprintf
+             "MASTER FAIL: resolve wall time only %.2fx better than reference (< 2x)\n"
+             time_ratio;
+           failed := true
+         end);
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -1106,6 +1268,9 @@ let () =
   let soak_mode = ref false in
   let soak_quick = ref false in
   let soak_out = ref "BENCH_soak.json" in
+  let master_mode = ref false in
+  let master_quick = ref false in
+  let master_out = ref "BENCH_master.json" in
   Arg.parse
     [
       ( "--seed",
@@ -1140,9 +1305,16 @@ let () =
       ("--soak", Arg.Set soak_mode, " run the soak suite (dynamic scenario, incremental vs rebuilt kernels, tracking error)");
       ("--soak-quick", Arg.Unit (fun () -> soak_mode := true; soak_quick := true), " soak suite, short horizon, timing blanked (deterministic artifact)");
       ("--soak-out", Arg.Set_string soak_out, "FILE soak report path (default BENCH_soak.json)");
+      ("--master", Arg.Set master_mode, " run the master-LP suite (stabilised Devex column generation vs Dantzig reference)");
+      ("--master-quick", Arg.Unit (fun () -> master_mode := true; master_quick := true), " master suite at 300 nodes only, timing blanked (deterministic artifact)");
+      ("--master-out", Arg.Set_string master_out, "FILE master report path (default BENCH_master.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE] [--mac|--mac-quick] [--mac-out FILE] [--serve|--serve-quick] [--serve-out FILE]";
+  if !master_mode then begin
+    master_bench ~seed:!seed ~quick:!master_quick ~out:!master_out ();
+    exit 0
+  end;
   if !soak_mode then begin
     soak_bench ~seed:!seed ~quick:!soak_quick ~out:!soak_out ();
     exit 0

@@ -321,3 +321,11 @@ let max_weight_independent ?(eps = 1e-9) ?(swap_passes = 2) ?(swap_width = 8)
     let assignment = (!b).b_assignment () in
     if assignment = [] then None else Some (assignment, (!b).b_value ())
   end
+
+(* Re-value an assignment under a (possibly different) weight vector:
+   column generation searches under smoothed duals but accepts against
+   the true reduced cost, so the two valuations must share one float
+   evaluation order — this left fold is it. *)
+let value model ~weights assignment =
+  let tbl = Model.rates model in
+  List.fold_left (fun acc (l, r) -> acc +. (weights l *. Rate.mbps tbl r)) 0.0 assignment

@@ -64,3 +64,10 @@ val max_weight_independent :
     [eps] (default 1e-9) is the strict-improvement tolerance.
     [shards], when given, must be a partition of (a superset of) the
     universe as produced by {!shards}. *)
+
+val value : Model.t -> weights:(int -> float) -> Model.assignment -> float
+(** [value model ~weights a] is [sum (weights l * mbps r)] over [a] —
+    the dual value of an already-built assignment.  Used by stabilised
+    column generation to re-price candidates found under smoothed duals
+    against the {e true} duals before appending them; the fold order
+    matches the valuation inside {!max_weight_independent}. *)

@@ -29,9 +29,20 @@ let m_cover_columns = Telemetry.counter "colgen.cover_columns"
 
 let m_uncertified = Telemetry.counter "colgen.uncertified"
 
+let m_stab_widenings = Telemetry.counter "colgen.stab_box_widenings"
+
 let warm_start = ref true
 
 type pricer = Exact | Heuristic | Auto
+
+(* Master-LP pricing rule, re-exported so callers need no dependency on
+   Wsn_lp.  [Dantzig] is the unstabilised reference arm: textbook
+   pricing and no right-hand-side perturbation. *)
+type lp_pricing = Dantzig | Devex
+
+let tableau_options = function
+  | Dantzig -> (Wsn_lp.Tableau.Dantzig, false)
+  | Devex -> (Wsn_lp.Tableau.Devex, true)
 
 let auto_exact_max = ref 128
 
@@ -141,7 +152,8 @@ let solve_master ~columns ~u ~uindex ~loads ~path =
     let shares = List.map (fun v -> s.Problem.values v) lambda in
     (s.Problem.values f, sigma, weights, shares, total_shortfall s shortfall)
 
-let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~background ~path =
+let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards ~lp_pricing ~stabilize
+    model ~background ~path =
   if path = [] then invalid_arg "Column_gen: empty path";
   if List.length (List.sort_uniq compare path) <> List.length path then
     invalid_arg "Column_gen: repeated link in path";
@@ -275,9 +287,7 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~backgr
         let note a = List.iter (fun (l, _) -> Hashtbl.replace used l ()) a in
         note first;
         let damped l = if Hashtbl.mem used l then 0.0 else w l in
-        let value_of a =
-          List.fold_left (fun acc (l, r) -> acc +. (w l *. Rate.mbps tbl r)) 0.0 a
-        in
+        let value_of a = Pricing_greedy.value model ~weights:w a in
         let rec batch acc k =
           if k = 0 then List.rev acc
           else
@@ -314,6 +324,95 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~backgr
             Telemetry.incr m_uncertified;
             `Converged false
           end)
+  in
+  (* Dual stabilisation (boxstep, du Merle-style widening).  The duals
+     of a degenerate restricted master oscillate wildly between rounds,
+     so the greedy chases noise and appends near-parallel columns.  We
+     keep a stability centre — the duals of the last round that priced
+     a genuinely improving column — and let the heuristic {e search}
+     under the true weights clamped into a box of half-width
+     [delta · (1 + |centre_i|)] around the centre.  Acceptance is
+     always against the {e true} reduced cost ([Pricing_greedy.value]
+     under the true weights vs. the true sigma), so every appended
+     column improves the real master and certification semantics are
+     untouched.  A failed smoothed round widens the box (×4, counted in
+     [colgen.stab_box_widenings]) and retries; once the box swallows
+     the true duals the round is exactly the unstabilised one, whose
+     verdict — including the exact fallback's certificate — stands.
+     The exact tier never sees smoothed duals. *)
+  let stab_active = stabilize && pricer <> Exact in
+  let stab_centre = ref None in
+  let stab_delta = ref 0.125 in
+  let price_smoothed ~sigma ~weights ~smoothed =
+    Telemetry.incr m_pricing_rounds;
+    Telemetry.incr m_heuristic_rounds;
+    let w l = weights.(Hashtbl.find uindex l) in
+    let sw l = smoothed.(Hashtbl.find uindex l) in
+    let value_of a = Pricing_greedy.value model ~weights:w a in
+    match
+      Pricing_greedy.max_weight_independent ?shards:(Lazy.force shard_parts) model
+        ~weights:sw ~universe
+    with
+    | Some (first, _) when value_of first > sigma +. convergence_eps ->
+      Telemetry.incr m_heuristic_columns;
+      let used = Hashtbl.create 16 in
+      let note a = List.iter (fun (l, _) -> Hashtbl.replace used l ()) a in
+      note first;
+      let damped l = if Hashtbl.mem used l then 0.0 else sw l in
+      let rec batch acc k =
+        if k = 0 then List.rev acc
+        else
+          match
+            Pricing_greedy.max_weight_independent ?shards:(Lazy.force shard_parts) model
+              ~weights:damped ~universe
+          with
+          | Some (a, _) when value_of a > sigma +. convergence_eps ->
+            Telemetry.incr m_heuristic_columns;
+            note a;
+            batch (a :: acc) (k - 1)
+          | Some _ | None -> List.rev acc
+      in
+      Some (first :: batch [] (!heuristic_batch - 1))
+    | Some _ | None -> None
+  in
+  let price_stabilised ~sigma weights =
+    if not stab_active then price ~sigma weights
+    else
+      match !stab_centre with
+      | None ->
+        (* First round: no centre yet — price plain and adopt these
+           duals as the centre (matching the unstabilised float path
+           exactly on the opening round). *)
+        stab_centre := Some (Array.copy weights);
+        price ~sigma weights
+      | Some centre ->
+        let rec attempt () =
+          let smoothed =
+            Array.mapi
+              (fun i wi ->
+                let c = centre.(i) in
+                let half = !stab_delta *. (1.0 +. Float.abs c) in
+                Float.max (c -. half) (Float.min (c +. half) wi))
+              weights
+          in
+          if Array.for_all2 (fun a b -> Float.equal a b) smoothed weights then begin
+            let r = price ~sigma weights in
+            (match r with
+             | `Improving _ -> stab_centre := Some (Array.copy weights)
+             | `Converged _ -> ());
+            r
+          end
+          else
+            match price_smoothed ~sigma ~weights ~smoothed with
+            | Some cols ->
+              stab_centre := Some (Array.copy weights);
+              `Improving cols
+            | None ->
+              Telemetry.incr m_stab_widenings;
+              stab_delta := !stab_delta *. 4.0;
+              attempt ()
+        in
+        attempt ()
   in
   let finish ~f ~shares ~shortfall ~pool ~iterations ~certified =
     if shortfall > 1e-6 && certified then None
@@ -354,7 +453,8 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~backgr
          previous (still feasible) basis — phase 2 only, no rebuild. *)
       let lp, f, lambda_seed, shortfall = build_master ~columns:seed ~u ~uindex ~loads ~path in
       Telemetry.incr m_lp_resolves;
-      match Problem.solve_warm lp with
+      let pricing, perturb = tableau_options lp_pricing in
+      match Problem.solve_warm ~pricing ~perturb lp with
       | (Problem.Infeasible | Problem.Unbounded), _ | _, None ->
         failwith "Column_gen: master must be feasible and bounded"
       | Problem.Solution s0, Some w ->
@@ -377,7 +477,7 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~backgr
           else begin
           Telemetry.incr m_warm_rounds;
           let sigma, weights = read_duals s ~nu in
-          match price ~sigma weights with
+          match price_stabilised ~sigma weights with
           | `Improving assignments ->
             List.iter
               (fun assignment ->
@@ -419,7 +519,7 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~backgr
           finish ~f ~shares ~shortfall ~pool ~iterations:max_iterations ~certified:false
         end
         else
-        match price ~sigma weights with
+        match price_stabilised ~sigma weights with
         | `Improving assignments ->
           List.iter
             (fun assignment ->
@@ -438,18 +538,21 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards model ~backgr
   in
   Wsn_telemetry.Span.with_span "colgen.available" run
 
-let available ?(max_iterations = 1000) ?warm ?(pricer = Exact) ?(shards = 0) model
-    ~background ~path =
+let available ?(max_iterations = 1000) ?warm ?(pricer = Exact) ?(shards = 0)
+    ?(lp_pricing = Devex) ?(stabilize = true) model ~background ~path =
   let warm = match warm with Some w -> w | None -> !warm_start in
-  available_impl ~max_iterations ~warm ~pool:None ~pricer ~max_shards:shards model
-    ~background ~path
+  available_impl ~max_iterations ~warm ~pool:None ~pricer ~max_shards:shards ~lp_pricing
+    ~stabilize model ~background ~path
 
-let available_pooled ?(max_iterations = 1000) ?(pricer = Exact) ?(shards = 0) pool model
-    ~background ~path =
+let available_pooled ?(max_iterations = 1000) ?(pricer = Exact) ?(shards = 0)
+    ?(lp_pricing = Devex) ?(stabilize = true) pool model ~background ~path =
   available_impl ~max_iterations ~warm:true ~pool:(Some pool) ~pricer ~max_shards:shards
-    model ~background ~path
+    ~lp_pricing ~stabilize model ~background ~path
 
-let path_capacity ?max_iterations ?warm ?pricer ?shards model ~path =
-  match available ?max_iterations ?warm ?pricer ?shards model ~background:[] ~path with
+let path_capacity ?max_iterations ?warm ?pricer ?shards ?lp_pricing ?stabilize model ~path =
+  match
+    available ?max_iterations ?warm ?pricer ?shards ?lp_pricing ?stabilize model
+      ~background:[] ~path
+  with
   | Some r -> r
   | None -> failwith "Column_gen.path_capacity: no background cannot be infeasible"

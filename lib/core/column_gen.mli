@@ -44,6 +44,28 @@ type pricer =
           heuristic's lower bound.  Bracket it from above with
           {!Bounds.clique_upper}. *)
 
+type lp_pricing =
+  | Dantzig
+      (** Unstabilised reference arm: textbook Dantzig pricing in the
+          master's warm resolves, no right-hand-side perturbation. *)
+  | Devex
+      (** Devex reference-weight pricing with candidate-list partial
+          pricing, plus degenerate-pivot perturbation (with an exact
+          clean-up) in the warm resolves — the default, and far cheaper
+          on large degenerate cover masters.  Same optimum either
+          way. *)
+
+(** {b Dual stabilisation.}  With [~stabilize:true] (the default) and a
+    heuristic tier, pricing rounds see the true duals clamped into a
+    boxstep trust region around a stability centre (the duals of the
+    last round that priced an improving column).  Candidates found
+    under the smoothed duals are re-valued under the {e true} duals and
+    appended only while genuinely improving, so the master optimum and
+    all certification semantics are exactly those of the unstabilised
+    loop; a stalled smoothed round widens the box (×4) and retries
+    until it swallows the true duals.  The {!Exact} tier never sees
+    smoothed duals.  Telemetry: [colgen.stab_box_widenings]. *)
+
 val auto_exact_max : int ref
 (** Universe-size ceiling (links) for {!Auto}'s exact fallback
     (default 128): above it, certification is skipped and the result
@@ -85,6 +107,8 @@ val available :
   ?warm:bool ->
   ?pricer:pricer ->
   ?shards:int ->
+  ?lp_pricing:lp_pricing ->
+  ?stabilize:bool ->
   Wsn_conflict.Model.t ->
   background:Flow.t list ->
   path:int list ->
@@ -98,7 +122,10 @@ val available :
     {!warm_start} for this call.  [pricer] (default {!Exact}) selects
     the pricing tier; [shards] (default 0 = one shard per
     carrier-sense locality component) caps the heuristic's shard
-    count.
+    count.  [lp_pricing] (default {!Devex}) selects the master's warm
+    simplex pricing rule and [stabilize] (default [true]) the dual
+    boxstep — both change only how fast the master converges, never
+    what it converges to.
     @raise Invalid_argument on an empty or repeated-link path.
     @raise Failure under {!Exact} if [max_iterations] (default 1000)
     master solves do not converge (indicates a pricing bug, not a hard
@@ -111,6 +138,8 @@ val path_capacity :
   ?warm:bool ->
   ?pricer:pricer ->
   ?shards:int ->
+  ?lp_pricing:lp_pricing ->
+  ?stabilize:bool ->
   Wsn_conflict.Model.t ->
   path:int list ->
   result
@@ -134,6 +163,8 @@ val available_pooled :
   ?max_iterations:int ->
   ?pricer:pricer ->
   ?shards:int ->
+  ?lp_pricing:lp_pricing ->
+  ?stabilize:bool ->
   pool ->
   Wsn_conflict.Model.t ->
   background:Flow.t list ->

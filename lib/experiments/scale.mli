@@ -31,6 +31,8 @@ val query :
   ?max_iterations:int ->
   ?pricer:Wsn_availbw.Column_gen.pricer ->
   ?shards:int ->
+  ?lp_pricing:Wsn_availbw.Column_gen.lp_pricing ->
+  ?stabilize:bool ->
   ?n_flows:int ->
   ?demand_mbps:float ->
   n_nodes:int ->
@@ -43,13 +45,17 @@ val query :
     [max_iterations] bounds the master solves — under a heuristic tier
     the query is anytime, so a cap trades wall time for bracket gap
     (the lower side stays a valid bound, merely uncertified).
-    Deterministic in [seed] apart from [seconds]. *)
+    [lp_pricing]/[stabilize] tune the master simplex (see
+    {!Wsn_availbw.Column_gen.available}) without changing any reported
+    bound.  Deterministic in [seed] apart from [seconds]. *)
 
 val run :
   ?ns:int list ->
   ?max_iterations:int ->
   ?pricer:Wsn_availbw.Column_gen.pricer ->
   ?shards:int ->
+  ?lp_pricing:Wsn_availbw.Column_gen.lp_pricing ->
+  ?stabilize:bool ->
   ?n_flows:int ->
   ?demand_mbps:float ->
   seed:int64 ->
@@ -62,6 +68,8 @@ val print :
   ?max_iterations:int ->
   ?pricer:Wsn_availbw.Column_gen.pricer ->
   ?shards:int ->
+  ?lp_pricing:Wsn_availbw.Column_gen.lp_pricing ->
+  ?stabilize:bool ->
   seed:int64 ->
   unit ->
   unit

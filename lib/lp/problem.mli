@@ -65,10 +65,12 @@ type warm
     variable at a time without rebuilding or re-solving from scratch
     (see {!Tableau.add_column}). *)
 
-val solve_warm : t -> outcome * warm option
+val solve_warm :
+  ?pricing:Tableau.pricing -> ?perturb:bool -> t -> outcome * warm option
 (** As {!solve}, additionally returning a warm handle when the problem
     is optimal ([None] otherwise).  Mutating [t] afterwards does not
-    affect the handle. *)
+    affect the handle.  [pricing]/[perturb] govern every {!resolve} on
+    the handle (see {!Tableau.solve_open}). *)
 
 val add_column : warm -> ?obj:float -> (int * float) list -> var
 (** [add_column w terms] appends a fresh variable with bounds [0 ≤ x],

@@ -14,6 +14,18 @@ let m_warm_resolves = Telemetry.counter "lp.warm_resolves"
 
 let m_columns_added = Telemetry.counter "lp.columns_added"
 
+let m_degenerate = Telemetry.counter "lp.degenerate_pivots"
+
+let m_candidates = Telemetry.counter "lp.pricing_candidates"
+
+let h_resolve_pivots = Telemetry.histogram "lp.pivots_per_resolve"
+
+type pricing = Dantzig | Devex
+
+let default_pricing = ref Devex
+
+let default_perturb = ref true
+
 type result =
   | Optimal of { x : Vector.t; objective : float; duals : Vector.t }
   | Unbounded
@@ -157,6 +169,7 @@ let optimise tab ~allowed ~iters =
       match leaving tab ~col with
       | None -> Unbounded_phase
       | Some row ->
+        if rhs tab row <= eps then Telemetry.incr m_degenerate;
         pivot tab ~row ~col;
         Telemetry.incr iters;
         loop (iter + 1))
@@ -174,8 +187,143 @@ type state = {
   first_appended : int;
   flip : float array;
   sig_col : int array;
+  rhs0 : float array;  (* normalised b — the perturbation clean-up's ground truth *)
+  pricing : pricing;
+  perturb : bool;
+  mutable devex_w : float array;  (* Devex reference weights, length = cap *)
   mutable appended : int;
 }
+
+(* Devex reference-weight pricing with a candidate list (partial
+   pricing).  The entering column maximises r_j² / w_j over a short
+   list harvested by one full scan; each iteration re-prices only the
+   survivors (the reduced costs move under pivots, membership does
+   not), and the list is rebuilt when it runs dry.  Weights approximate
+   steepest-edge norms w.r.t. the reference framework of the last reset
+   and are updated from the pivot row; they persist across warm
+   resolves in [devex_w].  Past the stall threshold — counted from this
+   entry, i.e. per resolve, never across the tableau's lifetime — the
+   loop degrades to Bland's rule, keeping the Dantzig path's
+   termination guarantee. *)
+let cand_cap = 64
+
+let optimise_devex st ~allowed ~iters =
+  let tab = st.tab in
+  let w = st.devex_w in
+  let max_iters = 200 * (tab.m + tab.ncols + 10) in
+  let bland_after = 20 * (tab.m + tab.ncols + 10) in
+  let score j =
+    let r = reduced_cost tab j in
+    if r < -.eps then r *. r /. w.(j) else -1.0
+  in
+  let cand = Array.make cand_cap (-1) in
+  let n_cand = ref 0 in
+  (* Harvest up to [cand_cap] candidates with the best scores in a
+     single pass (linear min-replacement). *)
+  let rebuild () =
+    n_cand := 0;
+    let scores = Array.make cand_cap 0.0 in
+    let worst = ref 0 in
+    let refresh_worst () =
+      worst := 0;
+      for k = 1 to cand_cap - 1 do
+        if scores.(k) < scores.(!worst) then worst := k
+      done
+    in
+    for j = 0 to tab.ncols - 1 do
+      if allowed j then begin
+        let s = score j in
+        if s > 0.0 then
+          if !n_cand < cand_cap then begin
+            cand.(!n_cand) <- j;
+            scores.(!n_cand) <- s;
+            incr n_cand;
+            if !n_cand = cand_cap then refresh_worst ()
+          end
+          else if s > scores.(!worst) then begin
+            cand.(!worst) <- j;
+            scores.(!worst) <- s;
+            refresh_worst ()
+          end
+      end
+    done;
+    Telemetry.add m_candidates !n_cand
+  in
+  (* Best still-eligible candidate under current reduced costs;
+     ineligible entries are swap-removed. *)
+  let pick () =
+    let best = ref (-1) and best_s = ref 0.0 in
+    let k = ref 0 in
+    while !k < !n_cand do
+      let j = cand.(!k) in
+      let s = score j in
+      if s <= 0.0 then begin
+        decr n_cand;
+        cand.(!k) <- cand.(!n_cand)
+      end
+      else begin
+        if s > !best_s then begin
+          best := j;
+          best_s := s
+        end;
+        incr k
+      end
+    done;
+    !best
+  in
+  let enter () =
+    let j = pick () in
+    if j >= 0 then Some j
+    else begin
+      (* An empty rebuild scanned every column: proof of optimality. *)
+      rebuild ();
+      let j = pick () in
+      if j >= 0 then Some j else None
+    end
+  in
+  (* Reference update from the post-pivot row r (whose entries are
+     exactly alpha_rj / alpha_rq); the leaving column gets the dual
+     form, and the framework resets once weights overflow. *)
+  let update_weights ~r ~q ~alpha_rq ~wq ~jl =
+    let d = tab.data in
+    let base = r * stride tab in
+    let overgrown = ref false in
+    for j = 0 to tab.ncols - 1 do
+      if j <> q then begin
+        let a = Array.unsafe_get d (base + j) in
+        if a <> 0.0 then begin
+          let cw = a *. a *. wq in
+          if cw > w.(j) then begin
+            w.(j) <- cw;
+            if cw > 1e9 then overgrown := true
+          end
+        end
+      end
+    done;
+    let wl = wq /. (alpha_rq *. alpha_rq) in
+    w.(jl) <- (if wl > 1.0 then wl else 1.0);
+    w.(q) <- 1.0;
+    if !overgrown || w.(jl) > 1e9 then Array.fill w 0 (Array.length w) 1.0
+  in
+  let rec loop iter =
+    if iter > max_iters then failwith "Tableau.optimise: iteration cap exceeded";
+    let col = if iter > bland_after then entering tab ~allowed ~bland:true else enter () in
+    match col with
+    | None -> Finished
+    | Some q -> (
+      match leaving tab ~col:q with
+      | None -> Unbounded_phase
+      | Some r ->
+        if rhs tab r <= eps then Telemetry.incr m_degenerate;
+        let alpha_rq = get tab r q in
+        let wq = w.(q) in
+        let jl = tab.basis.(r) in
+        pivot tab ~row:r ~col:q;
+        update_weights ~r ~q ~alpha_rq ~wq ~jl;
+        Telemetry.incr iters;
+        loop (iter + 1))
+  in
+  loop 0
 
 let extract st =
   let tab = st.tab in
@@ -188,7 +336,7 @@ let extract st =
   let duals = Vector.init tab.m (fun i -> st.flip.(i) *. get tab tab.m st.sig_col.(i)) in
   Optimal { x; objective = get tab tab.m tab.cap; duals }
 
-let solve_raw ~a ~b ~c ~senses =
+let solve_raw ~pricing ~perturb ~a ~b ~c ~senses =
   let m = Matrix.rows a in
   let n = Matrix.cols a in
   if Vector.dim b <> m then invalid_arg "Tableau.solve: b dimension mismatch";
@@ -284,17 +432,21 @@ let solve_raw ~a ~b ~c ~senses =
     set tab m j (-.c.(j))
   done;
   price_out tab;
-  let st = { tab; n; first_appended = n_struct + n_art; flip; sig_col; appended = 0 } in
+  let st =
+    { tab; n; first_appended = n_struct + n_art; flip; sig_col;
+      rhs0 = Array.copy rhs0; pricing; perturb;
+      devex_w = Array.make tab.cap 1.0; appended = 0 }
+  in
   match optimise tab ~allowed:(fun j -> not (is_artificial tab j)) ~iters:m_phase2_iters with
   | Unbounded_phase -> (Unbounded, None)
   | Finished -> (extract st, Some st)
 
-let solve_open ~a ~b ~c ~senses =
+let solve_open ?(pricing = !default_pricing) ?(perturb = !default_perturb) ~a ~b ~c ~senses () =
   Wsn_telemetry.Span.with_span "lp.solve" (fun () ->
       Telemetry.incr m_solves;
-      try solve_raw ~a ~b ~c ~senses with Exit -> (Infeasible, None))
+      try solve_raw ~pricing ~perturb ~a ~b ~c ~senses with Exit -> (Infeasible, None))
 
-let solve ~a ~b ~c ~senses = fst (solve_open ~a ~b ~c ~senses)
+let solve ~a ~b ~c ~senses = fst (solve_open ~pricing:Dantzig ~perturb:false ~a ~b ~c ~senses ())
 
 (* Append one structural column (cost in the maximisation form;
    [coeffs] in original row order and sign, the stored [flip] is
@@ -315,6 +467,13 @@ let add_column st ~coeffs ~cost =
     done;
     tab.data <- data';
     tab.cap <- cap'
+  end;
+  if Array.length st.devex_w < tab.cap then begin
+    (* Grow the Devex weights alongside; fresh columns join the current
+       reference framework at weight 1. *)
+    let w' = Array.make tab.cap 1.0 in
+    Array.blit st.devex_w 0 w' 0 (Array.length st.devex_w);
+    st.devex_w <- w'
   end;
   let j = tab.ncols in
   tab.ncols <- j + 1;
@@ -343,10 +502,78 @@ let add_column st ~coeffs ~cost =
   st.appended <- st.appended + 1;
   xi
 
+(* Degenerate-pivot perturbation.  When many basic rows sit at zero the
+   ratio test keeps picking zero-length steps; shifting those
+   right-hand sides by tiny, deterministic, row-dependent amounts makes
+   the ties break at distinct positive ratios.  Afterwards the exact
+   right-hand sides are restored through the signature columns — which
+   hold B⁻¹e_k under the final basis, so
+   [rhs_i = Σ_k rhs0_k · tab(i, sig_col_k)] for every row including the
+   objective cell (y·b) — and checked for primal feasibility.  Reduced
+   costs never depend on b, so the restored basis stays dual feasible:
+   a feasible clean-up is an exact optimum of the *unperturbed*
+   problem, with any accumulated rhs drift wiped as a side effect.  If
+   the clean-up leaves a negative basic value (or the shift opened an
+   unbounded ray) the tableau is rolled back and re-optimised plain. *)
+let perturb_threshold = 4
+
+let degenerate_rows tab =
+  let k = ref 0 in
+  for i = 0 to tab.m - 1 do
+    if Float.abs (rhs tab i) <= eps then incr k
+  done;
+  !k
+
+let cleanup_rhs st =
+  let tab = st.tab in
+  let s = stride tab in
+  let ok = ref true in
+  for i = 0 to tab.m do
+    let v = ref 0.0 in
+    for k = 0 to tab.m - 1 do
+      let bk = st.rhs0.(k) in
+      if bk <> 0.0 then v := !v +. (bk *. tab.data.((i * s) + st.sig_col.(k)))
+    done;
+    if i < tab.m then begin
+      if !v < -.eps then ok := false;
+      set tab i tab.cap (if !v < 0.0 then 0.0 else !v)
+    end
+    else set tab i tab.cap !v
+  done;
+  !ok
+
+let reoptimize_raw st =
+  let tab = st.tab in
+  let allowed j = not (is_artificial tab j) in
+  let run () =
+    match st.pricing with
+    | Dantzig -> optimise tab ~allowed ~iters:m_phase2_iters
+    | Devex -> optimise_devex st ~allowed ~iters:m_phase2_iters
+  in
+  if st.perturb && degenerate_rows tab >= perturb_threshold then begin
+    let data_snap = Array.copy tab.data in
+    let basis_snap = Array.copy tab.basis in
+    let m = float_of_int tab.m in
+    for i = 0 to tab.m - 1 do
+      if Float.abs (rhs tab i) <= eps then
+        set tab i tab.cap (1e-7 *. (1.0 +. (float_of_int i /. m)))
+    done;
+    match run () with
+    | Finished when cleanup_rhs st -> Finished
+    | _ ->
+      Array.blit data_snap 0 tab.data 0 (Array.length data_snap);
+      Array.blit basis_snap 0 tab.basis 0 tab.m;
+      run ()
+  end
+  else run ()
+
 let reoptimize st =
   Wsn_telemetry.Span.with_span "lp.resolve" (fun () ->
       Telemetry.incr m_warm_resolves;
-      let tab = st.tab in
-      match optimise tab ~allowed:(fun j -> not (is_artificial tab j)) ~iters:m_phase2_iters with
+      let p0 = Telemetry.counter_value m_pivots in
+      let outcome = reoptimize_raw st in
+      Telemetry.observe h_resolve_pivots
+        (float_of_int (Telemetry.counter_value m_pivots - p0));
+      match outcome with
       | Unbounded_phase -> Unbounded
       | Finished -> extract st)

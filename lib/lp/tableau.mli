@@ -13,6 +13,26 @@
     termination.  Tolerances are absolute ([1e-9]); the LPs of this
     repository are small and well-scaled. *)
 
+type pricing =
+  | Dantzig
+      (** Most-negative reduced cost, Bland fallback after a stall: the
+          reference arm, bit-reproducible against the retained Matrix
+          tableau. *)
+  | Devex
+      (** Reference-weight (Devex) pricing with a candidate-list partial
+          scan — far fewer pivots on degenerate masters.  Same optimum;
+          the optimal basis (and float round-off) may differ. *)
+
+val default_pricing : pricing ref
+(** Pricing used by {!solve_open} when [?pricing] is omitted
+    ([Devex]). *)
+
+val default_perturb : bool ref
+(** Whether {!reoptimize} may perturb degenerate right-hand sides when
+    [?perturb] is omitted at {!solve_open} ([true]).  The clean-up pass
+    restores exact feasibility, so results are still exact optima of
+    the unperturbed problem. *)
+
 type result =
   | Optimal of {
       x : Wsn_linalg.Vector.t;
@@ -52,13 +72,19 @@ type state
 (** A solved tableau retained for incremental column appends. *)
 
 val solve_open :
+  ?pricing:pricing ->
+  ?perturb:bool ->
   a:Wsn_linalg.Matrix.t ->
   b:Wsn_linalg.Vector.t ->
   c:Wsn_linalg.Vector.t ->
   senses:Types.sense array ->
+  unit ->
   result * state option
 (** As {!solve}, additionally returning the warm state when the problem
-    is optimal ([None] on [Infeasible]/[Unbounded]). *)
+    is optimal ([None] on [Infeasible]/[Unbounded]).  [pricing] and
+    [perturb] (defaults {!default_pricing} / {!default_perturb}) govern
+    every subsequent {!reoptimize} on the returned state; the initial
+    cold solve always runs the Dantzig reference path. *)
 
 val add_column : state -> coeffs:(int * float) list -> cost:float -> int
 (** [add_column st ~coeffs ~cost] appends a non-negative structural
@@ -70,4 +96,12 @@ val add_column : state -> coeffs:(int * float) list -> cost:float -> int
 
 val reoptimize : state -> result
 (** Re-run phase 2 from the current basis.  [x] in the result has
-    [n + appended] entries; [duals] follow the {!solve} convention. *)
+    [n + appended] entries; [duals] follow the {!solve} convention.
+    Under [Devex] pricing the entering column maximises the Devex score
+    over a 64-column candidate list; under either pricing the Bland
+    stall threshold is reset on every entry (per resolve, never across
+    the state's lifetime).  With [perturb] on, resolves that start from
+    a heavily degenerate basis shift the zero right-hand sides by tiny
+    deterministic amounts and restore exact feasibility afterwards
+    (rolling back to the unperturbed tableau if the clean-up fails), so
+    the returned optimum is always an optimum of the exact problem. *)

@@ -36,6 +36,8 @@ type t = {
   metric : Metrics.t;
   pricer : Column_gen.pricer;  (* Warm pricing tier; Cold ignores it *)
   shards : int;
+  lp_pricing : Column_gen.lp_pricing;  (* Warm master simplex rule *)
+  stabilize : bool;  (* Warm dual boxstep *)
   pool : Column_gen.pool option;  (* [Some] iff Warm *)
   (* Warm transcript memo: (ordered background, path) ↦ availability.
      Keys are exact, so a hit replays a computation the cold mode would
@@ -58,7 +60,7 @@ let count t key =
 let bump t key = incr (count t key)
 
 let create ?(metric = Metrics.Average_e2e_delay) ?(pricer = Column_gen.Exact) ?(shards = 0)
-    ~mode ~topo ~model () =
+    ?(lp_pricing = Column_gen.Devex) ?(stabilize = true) ~mode ~topo ~model () =
   {
     smode = mode;
     topo;
@@ -66,6 +68,8 @@ let create ?(metric = Metrics.Average_e2e_delay) ?(pricer = Column_gen.Exact) ?(
     metric;
     pricer;
     shards;
+    lp_pricing;
+    stabilize;
     pool = (match mode with Warm -> Some (Column_gen.create_pool ()) | Cold -> None);
     answers = Hashtbl.create 64;
     flows = [];
@@ -129,8 +133,8 @@ let availability t path =
     | None -> (
       let pool = Option.get t.pool in
       match
-        Column_gen.available_pooled ~pricer:t.pricer ~shards:t.shards pool t.model
-          ~background:bg ~path
+        Column_gen.available_pooled ~pricer:t.pricer ~shards:t.shards
+          ~lp_pricing:t.lp_pricing ~stabilize:t.stabilize pool t.model ~background:bg ~path
       with
       | Some r ->
         Hashtbl.replace t.answers key r.Column_gen.bandwidth_mbps;

@@ -32,6 +32,8 @@ val create :
   ?metric:Wsn_routing.Metrics.t ->
   ?pricer:Wsn_availbw.Column_gen.pricer ->
   ?shards:int ->
+  ?lp_pricing:Wsn_availbw.Column_gen.lp_pricing ->
+  ?stabilize:bool ->
   mode:mode ->
   topo:Wsn_net.Topology.t ->
   model:Wsn_conflict.Model.t ->
@@ -45,7 +47,10 @@ val create :
     heuristic shard cap; on Fig.-2-scale topologies [Auto] answers
     byte-identically to [Exact] (the universe stays within the exact
     fallback's ceiling) while scaling to topologies the exact pricer
-    cannot touch.  A [Cold] session ignores both (full enumeration). *)
+    cannot touch.  [lp_pricing] (default [Devex]) and [stabilize]
+    (default [true]) tune the warm master's simplex — speed only,
+    never the answers.  A [Cold] session ignores all four (full
+    enumeration). *)
 
 val mode : t -> mode
 

@@ -368,12 +368,46 @@ let test_shards_partition () =
   check Alcotest.int "declared: one shard" 1
     (List.length (Pricing_greedy.shards declared [ 0; 1; 2; 3 ]))
 
+(* Stabilisation and Devex pricing are speed knobs, never answer
+   knobs: on certified instances the stabilised default must match the
+   Dantzig/unstabilised reference through the wire quantisation, under
+   the Auto tier whose heuristic rounds are exactly what the dual box
+   smooths. *)
+let qcheck_stabilised_equals_unstabilised =
+  QCheck.Test.make
+    ~name:"stabilised colgen = unstabilised (wire-identical, certified instances)"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let model, paths = random_physical_instance seed in
+      match paths with
+      | [] | [ _ ] -> QCheck.assume_fail ()
+      | path :: rest ->
+        let background = List.map (fun p -> Flow.make ~path:p ~demand_mbps:0.4) rest in
+        let stab =
+          Column_gen.available ~pricer:Column_gen.Auto ~lp_pricing:Column_gen.Devex
+            ~stabilize:true model ~background ~path
+        in
+        let plain =
+          Column_gen.available ~pricer:Column_gen.Auto ~lp_pricing:Column_gen.Dantzig
+            ~stabilize:false model ~background ~path
+        in
+        (match (stab, plain) with
+         | Some s, Some p ->
+           s.Column_gen.certified = p.Column_gen.certified
+           && (not s.Column_gen.certified
+               || Proto.mbps s.Column_gen.bandwidth_mbps
+                  = Proto.mbps p.Column_gen.bandwidth_mbps)
+         | None, None -> true
+         | _ -> false))
+
 let heuristic_suite =
   [
     QCheck_alcotest.to_alcotest qcheck_heuristic_columns_feasible;
     QCheck_alcotest.to_alcotest qcheck_heuristic_below_exact;
     QCheck_alcotest.to_alcotest qcheck_auto_equals_exact;
     QCheck_alcotest.to_alcotest qcheck_auto_equals_exact_declared;
+    QCheck_alcotest.to_alcotest qcheck_stabilised_equals_unstabilised;
     Alcotest.test_case "heuristic tier lower bound" `Quick
       test_heuristic_tier_uncertified_lower_bound;
     Alcotest.test_case "anytime iteration cap" `Quick test_anytime_iteration_cap;
