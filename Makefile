@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke bench-soak soak-smoke bench-master master-smoke clean
+.PHONY: all check test bench bench-quick perfcheck smoke sweep-smoke parallel-smoke bench-parallel bench-mac mac-smoke serve-smoke bench-serve bench-serve-full bench-scale scale-smoke bench-soak soak-smoke bench-master master-smoke bench-whatif whatif-smoke clean
 
 all:
 	dune build
@@ -18,6 +18,7 @@ check:
 	$(MAKE) scale-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) master-smoke
+	$(MAKE) whatif-smoke
 
 # Engine sweep smoke: a tiny fixed-seed grid through the real CLI under
 # -j2, asserting the exit-code policy, journal contents, warm-cache
@@ -125,6 +126,19 @@ bench-master:
 # in seconds, byte-deterministic artifact; part of `make check`.
 master-smoke:
 	dune exec bench/main.exe -- --master-quick --master-out BENCH_master_quick.json
+
+# Whatif suite: demand-scaling what-if queries answered from the warm
+# master's cached optimal basis vs fresh certified re-solves.  Wire
+# identity of every in-range prediction is always gated; the >= 5x
+# predict-over-resolve speedup only in the full (timed) run.
+bench-whatif:
+	dune exec bench/main.exe -- --whatif --whatif-out BENCH_whatif.json
+
+# Same suite on fewer factors with timings blanked — the in-range
+# identity gate in seconds, byte-deterministic artifact; part of
+# `make check`.
+whatif-smoke:
+	dune exec bench/main.exe -- --whatif-quick --whatif-out BENCH_whatif_quick.json
 
 # Perf regression gate: tier-1 must pass, and the fast arm's counters on
 # the quick workload must stay within 10% of the committed baseline

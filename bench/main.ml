@@ -1234,6 +1234,71 @@ let master_bench ~seed ~quick ~out () =
          end);
   if !failed then exit 1
 
+(* --- whatif suite: basis-reuse predictions vs re-solving ------------ *)
+
+module Whatif = Wsn_experiments.Whatif
+
+(* Two claims are gated: (1) correctness — every prediction inside the
+   basis-stability range is wire-identical (3-decimal quantisation,
+   feasibility flag included) to a fresh certified re-solve of the
+   scaled instance, unconditionally in quick and full mode; (2) speed —
+   summed over all probes, answering from the cached basis is at least
+   5x faster than re-solving (full mode only; quick blanks every
+   timing so the artifact is a pure function of the seed).  Out-of-range
+   rows are reported but not accuracy-gated: there the restricted
+   master may lack columns the scaled optimum needs, which is exactly
+   why the engine reports its stability range. *)
+let whatif_bench ~seed ~quick ~out () =
+  let factors = if quick then [ 0.5; 0.9; 1.1; 1.5 ] else Whatif.default_factors in
+  Printf.printf "whatif suite: %s mode, %d factors, seed %Ld\n%!"
+    (if quick then "quick" else "full")
+    (List.length factors) seed;
+  let rows = Whatif.print ~factors ~n_nodes:30 ~seed () in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let predict_s = total (fun r -> r.Whatif.predict_s) in
+  let resolve_s = total (fun r -> r.Whatif.resolve_s) in
+  let speedup = resolve_s /. Float.max 1e-9 predict_s in
+  let in_range_exact = Whatif.all_in_range_exact rows in
+  Printf.printf "  predict %.4fs vs resolve %.4fs: %.0fx; in-range wire-exact %b\n%!"
+    predict_s resolve_s speedup in_range_exact;
+  let w t = if quick then 0.0 else t in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"quick\": %b,\n\
+    \  \"seed\": %Ld,\n\
+    \  \"n_nodes\": 30,\n\
+    \  \"in_range_wire_exact\": %b,\n\
+    \  \"predict_s\": %.6f,\n\
+    \  \"resolve_s\": %.6f,\n\
+    \  \"predict_speedup\": %.1f,\n\
+    \  \"rows\": [\n"
+    quick seed in_range_exact (w predict_s) (w resolve_s) (w speedup);
+  List.iteri
+    (fun i (r : Whatif.row) ->
+      Printf.fprintf oc
+        "    {\"factor\": %.3f, \"queries\": %d, \"in_range\": %d, \"repivoted\": %d, \
+         \"wire_exact\": %d, \"in_range_wire_exact\": %d, \"max_err_mbps\": %.6f}%s\n"
+        r.Whatif.factor r.Whatif.n_queries r.Whatif.in_range r.Whatif.repivoted
+        r.Whatif.wire_exact r.Whatif.in_range_wire_exact r.Whatif.max_err_mbps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let failed = ref false in
+  if not in_range_exact then begin
+    Printf.eprintf
+      "WHATIF FAIL: an in-range prediction is not wire-identical to its re-solve\n";
+    failed := true
+  end;
+  if (not quick) && speedup < 5.0 then begin
+    Printf.eprintf "WHATIF FAIL: prediction only %.1fx faster than re-solving (< 5x)\n"
+      speedup;
+    failed := true
+  end;
+  if !failed then exit 1
+
 (* Regeneration runs with telemetry enabled and the counters are
    snapshotted to [BENCH_telemetry.json] before the Bechamel timing
    pass, so the baseline is a pure function of [--seed] (timing
@@ -1271,6 +1336,9 @@ let () =
   let master_mode = ref false in
   let master_quick = ref false in
   let master_out = ref "BENCH_master.json" in
+  let whatif_mode = ref false in
+  let whatif_quick = ref false in
+  let whatif_out = ref "BENCH_whatif.json" in
   Arg.parse
     [
       ( "--seed",
@@ -1308,9 +1376,16 @@ let () =
       ("--master", Arg.Set master_mode, " run the master-LP suite (stabilised Devex column generation vs Dantzig reference)");
       ("--master-quick", Arg.Unit (fun () -> master_mode := true; master_quick := true), " master suite at 300 nodes only, timing blanked (deterministic artifact)");
       ("--master-out", Arg.Set_string master_out, "FILE master report path (default BENCH_master.json)");
+      ("--whatif", Arg.Set whatif_mode, " run the whatif suite (basis-reuse predictions vs certified re-solves)");
+      ("--whatif-quick", Arg.Unit (fun () -> whatif_mode := true; whatif_quick := true), " whatif suite, fewer factors, timing blanked (deterministic artifact)");
+      ("--whatif-out", Arg.Set_string whatif_out, "FILE whatif report path (default BENCH_whatif.json)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench [--seed SEED] [--telemetry-out FILE] [--no-timing] [--perf|--perf-quick] [--perf-out FILE] [--write-perf-baseline FILE] [--check-perf FILE] [--sweep|--sweep-quick] [--sweep-out FILE] [--parallel|--parallel-quick] [--parallel-out FILE] [--mac|--mac-quick] [--mac-out FILE] [--serve|--serve-quick] [--serve-out FILE]";
+  if !whatif_mode then begin
+    whatif_bench ~seed:!seed ~quick:!whatif_quick ~out:!whatif_out ();
+    exit 0
+  end;
   if !master_mode then begin
     master_bench ~seed:!seed ~quick:!master_quick ~out:!master_out ();
     exit 0

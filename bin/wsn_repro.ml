@@ -491,6 +491,60 @@ let soak_cmd =
       const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ epochs $ nodes $ horizon
       $ window $ pricer $ lp_pricing_arg $ stabilize_arg $ rebuild)
 
+let whatif_cmd =
+  let factors =
+    let doc = "Comma-separated demand-scaling factors to probe." in
+    Arg.(value & opt string "0.0,0.5,0.9,1.1,1.5,2.0" & info [ "factors" ] ~docv:"LIST" ~doc)
+  in
+  let nodes =
+    let doc = "Topology size (nodes) of the generated scenario." in
+    Arg.(value & opt int 30 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let flows =
+    let doc = "Flows drawn in the scenario (0 = scenario default)." in
+    Arg.(value & opt int 0 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let demand =
+    let doc =
+      "Per-flow demand in Mbit/s (0 = scenario default).  An unschedulable demand makes the \
+       experiment fail (exit 1): no certified optimum, nothing to differentiate."
+    in
+    Arg.(value & opt float 0.0 & info [ "demand" ] ~docv:"MBPS" ~doc)
+  in
+  let run telem domains seed factors nodes flows demand =
+    with_common telem domains @@ fun () ->
+    if nodes < 2 then die exit_usage "--nodes must be >= 2 (got %d)" nodes;
+    if flows < 0 then die exit_usage "--flows must be >= 0 (got %d)" flows;
+    if demand < 0.0 || not (Float.is_finite demand) then
+      die exit_usage "--demand must be finite and >= 0 (got %g)" demand;
+    let factors =
+      List.map
+        (fun s ->
+          match float_of_string_opt (String.trim s) with
+          | Some f when Float.is_finite f && f >= 0.0 -> f
+          | Some f -> die exit_usage "--factors must be finite and >= 0 (got %g)" f
+          | None -> die exit_usage "bad factor %S in --factors" s)
+        (String.split_on_char ',' factors)
+    in
+    if factors = [] then die exit_usage "--factors needs at least one factor";
+    let n_flows = if flows = 0 then None else Some flows in
+    let demand_mbps = if demand = 0.0 then None else Some demand in
+    let rows =
+      try Wsn_experiments.Whatif.print ~factors ?n_flows ?demand_mbps ~n_nodes:nodes ~seed ()
+      with Failure msg -> die exit_job_failure "%s" msg
+    in
+    if not (Wsn_experiments.Whatif.all_in_range_exact rows) then
+      die exit_job_failure
+        "an in-range prediction disagreed with its re-solve at wire precision"
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "E18: answer demand-scaling what-if queries from the warm master's cached basis \
+          and gate each in-range prediction against a fresh certified re-solve")
+    Term.(
+      const run $ telemetry_arg $ domains_arg $ seed_arg 30L $ factors $ nodes $ flows $ demand)
+
 let topo_cmd =
   let run telem domains seed =
     with_common telem domains (fun () ->
@@ -655,7 +709,8 @@ let () =
     Cmd.group info
       [
         e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e12_cmd; e13_cmd; e14_cmd; fig2_cmd;
-        ablations_cmd; sweep_cmd; scale_cmd; soak_cmd; topo_cmd; serve_cmd; all_cmd;
+        ablations_cmd; sweep_cmd; scale_cmd; soak_cmd; whatif_cmd; topo_cmd; serve_cmd;
+        all_cmd;
       ]
   in
   (* Map Cmdliner's evaluation outcomes onto the uniform exit codes

@@ -31,6 +31,10 @@ let m_uncertified = Telemetry.counter "colgen.uncertified"
 
 let m_stab_widenings = Telemetry.counter "colgen.stab_box_widenings"
 
+let m_whatifs = Telemetry.counter "colgen.whatifs"
+
+let m_whatif_repivots = Telemetry.counter "colgen.whatif_repivots"
+
 let warm_start = ref true
 
 type pricer = Exact | Heuristic | Auto
@@ -58,6 +62,25 @@ type result = {
 }
 
 type column = { assignment : Model.assignment; mbps : (int * float) list }
+
+(* A certified optimum's dual story, kept warm: the master tableau with
+   its optimal basis, the variable handles needed to read a perturbed
+   solution back, and the duals/reduced costs frozen at convergence.
+   Built only on the warm path when the exact pricer certified the
+   final round — uncertified brackets have no optimal basis to
+   differentiate. *)
+type sensitivity = {
+  s_warm : Problem.warm;
+  s_f_var : Problem.var;
+  s_shortfall_vars : Problem.var array;
+  s_u : int array;  (* universe links, row 1+i covers s_u.(i) *)
+  s_uindex : (int, int) Hashtbl.t;
+  s_background : Flow.t array;
+  s_bandwidth : float;
+  s_sigma : float;  (* dual of the total-share budget row *)
+  s_duals : float array;  (* cover-row duals per universe index, <= 0 *)
+  s_set_prices : (Model.assignment * float) list;
+}
 
 let big_m = 1e5
 
@@ -461,6 +484,29 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards ~lp_pricing ~
         (* Pool and handles are kept reversed; reversed once at reads. *)
         let pool_rev = ref (List.rev seed) in
         let lambda_rev = ref (List.rev lambda_seed) in
+        (* Freeze the dual story of a certified warm optimum: duals and
+           per-column reduced costs under the final basis, plus the
+           still-live warm handle for basis-reuse predictions. *)
+        let make_sens (s : Problem.solution) = function
+          | Some r when r.certified ->
+            Some
+              {
+                s_warm = w;
+                s_f_var = f;
+                s_shortfall_vars = shortfall;
+                s_u = u;
+                s_uindex = uindex;
+                s_background = Array.of_list background;
+                s_bandwidth = r.bandwidth_mbps;
+                s_sigma = s.Problem.row_duals.(0);
+                s_duals = Array.init nu (fun i -> s.Problem.row_duals.(i + 1));
+                s_set_prices =
+                  List.rev_map2
+                    (fun (c : column) v -> (c.assignment, Problem.warm_reduced_cost w v))
+                    !pool_rev !lambda_rev;
+              }
+          | Some _ | None -> None
+        in
         let rec iterate k (s : Problem.solution) =
           if k > max_iterations then begin
             (* Anytime semantics for the heuristic tiers: the master
@@ -470,9 +516,10 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards ~lp_pricing ~
             if pricer = Exact then failwith "Column_gen: did not converge";
             Telemetry.incr m_uncertified;
             let shares = List.rev_map (fun v -> s.Problem.values v) !lambda_rev in
-            finish ~f:(s.Problem.values f) ~shares
-              ~shortfall:(total_shortfall s shortfall)
-              ~pool:(List.rev !pool_rev) ~iterations:max_iterations ~certified:false
+            ( finish ~f:(s.Problem.values f) ~shares
+                ~shortfall:(total_shortfall s shortfall)
+                ~pool:(List.rev !pool_rev) ~iterations:max_iterations ~certified:false,
+              None )
           end
           else begin
           Telemetry.incr m_warm_rounds;
@@ -499,9 +546,12 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards ~lp_pricing ~
              | Problem.Solution s' -> iterate (k + 1) s')
           | `Converged certified ->
             let shares = List.rev_map (fun v -> s.Problem.values v) !lambda_rev in
-            finish ~f:(s.Problem.values f) ~shares
-              ~shortfall:(total_shortfall s shortfall)
-              ~pool:(List.rev !pool_rev) ~iterations:k ~certified
+            let r =
+              finish ~f:(s.Problem.values f) ~shares
+                ~shortfall:(total_shortfall s shortfall)
+                ~pool:(List.rev !pool_rev) ~iterations:k ~certified
+            in
+            (r, if certified then make_sens s r else None)
           end
         in
         iterate 1 s0
@@ -533,7 +583,7 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards ~lp_pricing ~
              Equation-6 optimum.  Uncertified: a valid lower bound. *)
           finish ~f ~shares ~shortfall ~pool ~iterations:k ~certified
       in
-      iterate 1
+      (iterate 1, None)
     end
   in
   Wsn_telemetry.Span.with_span "colgen.available" run
@@ -541,10 +591,22 @@ let available_impl ~max_iterations ~warm ~pool ~pricer ~max_shards ~lp_pricing ~
 let available ?(max_iterations = 1000) ?warm ?(pricer = Exact) ?(shards = 0)
     ?(lp_pricing = Devex) ?(stabilize = true) model ~background ~path =
   let warm = match warm with Some w -> w | None -> !warm_start in
-  available_impl ~max_iterations ~warm ~pool:None ~pricer ~max_shards:shards ~lp_pricing
-    ~stabilize model ~background ~path
+  fst
+    (available_impl ~max_iterations ~warm ~pool:None ~pricer ~max_shards:shards ~lp_pricing
+       ~stabilize model ~background ~path)
 
 let available_pooled ?(max_iterations = 1000) ?(pricer = Exact) ?(shards = 0)
+    ?(lp_pricing = Devex) ?(stabilize = true) pool model ~background ~path =
+  fst
+    (available_impl ~max_iterations ~warm:true ~pool:(Some pool) ~pricer ~max_shards:shards
+       ~lp_pricing ~stabilize model ~background ~path)
+
+let available_sens ?(max_iterations = 1000) ?(pricer = Exact) ?(shards = 0)
+    ?(lp_pricing = Devex) ?(stabilize = true) model ~background ~path =
+  available_impl ~max_iterations ~warm:true ~pool:None ~pricer ~max_shards:shards
+    ~lp_pricing ~stabilize model ~background ~path
+
+let available_pooled_sens ?(max_iterations = 1000) ?(pricer = Exact) ?(shards = 0)
     ?(lp_pricing = Devex) ?(stabilize = true) pool model ~background ~path =
   available_impl ~max_iterations ~warm:true ~pool:(Some pool) ~pricer ~max_shards:shards
     ~lp_pricing ~stabilize model ~background ~path
@@ -556,3 +618,78 @@ let path_capacity ?max_iterations ?warm ?pricer ?shards ?lp_pricing ?stabilize m
   with
   | Some r -> r
   | None -> failwith "Column_gen.path_capacity: no background cannot be infeasible"
+
+(* {1 Congestion pricing and what-if queries}
+
+   Read-only views over a certified optimum's duals, plus basis-reuse
+   demand-scaling predictions.  Row 1+i of the master covers universe
+   link [s_u.(i)] with a Ge constraint whose dual is ≤ 0 in the
+   maximisation form: its negation prices one extra Mbps of background
+   load on that link in lost available bandwidth. *)
+
+let sensitivity_bandwidth s = s.s_bandwidth
+
+let sigma_price s = s.s_sigma
+
+let link_prices s =
+  Array.to_list
+    (Array.mapi (fun i l -> (l, Float.max 0.0 (-.s.s_duals.(i)))) s.s_u)
+
+let set_prices s = s.s_set_prices
+
+let check_flow s k =
+  if k < 0 || k >= Array.length s.s_background then
+    invalid_arg "Column_gen: background flow index out of range"
+
+(* ∂f/∂(demand of flow k): the flow loads every link on its path by its
+   demand, so a unit demand increase moves each of those cover rows'
+   right-hand sides by one. *)
+let flow_derivative s k =
+  check_flow s k;
+  List.fold_left
+    (fun acc l -> acc +. s.s_duals.(Hashtbl.find s.s_uindex l))
+    0.0 s.s_background.(k).Flow.path
+
+let throttle_ranking s =
+  let gains =
+    Array.to_list
+      (Array.mapi (fun k (_ : Flow.t) -> (k, -.flow_derivative s k)) s.s_background)
+  in
+  List.stable_sort (fun (_, a) (_, b) -> compare (b : float) a) gains
+
+(* Demand scaling of flow k as a right-hand-side direction: every cover
+   row on its path carries its demand once, so factor [1 + t] shifts
+   those rows by [t · demand]. *)
+let scale_dir s k =
+  let fl = s.s_background.(k) in
+  List.map (fun l -> (1 + Hashtbl.find s.s_uindex l, fl.Flow.demand_mbps)) fl.Flow.path
+
+let scale_ranging s k =
+  check_flow s k;
+  let lo, hi = Problem.rhs_ranging s.s_warm ~dir:(scale_dir s k) in
+  (Float.max 0.0 (1.0 +. lo), 1.0 +. hi)
+
+type whatif = { w_mbps : float; w_feasible : bool; w_repivoted : bool }
+
+let whatif_scale s k ~factor =
+  check_flow s k;
+  if not (Float.is_finite factor) || factor < 0.0 then
+    invalid_arg "Column_gen: what-if factor must be finite and non-negative";
+  Telemetry.incr m_whatifs;
+  let p = Problem.predict_rhs_delta s.s_warm ~dir:(scale_dir s k) ~t:(factor -. 1.0) in
+  if p.Problem.repivoted then Telemetry.incr m_whatif_repivots;
+  match p.Problem.predicted with
+  | Problem.Infeasible -> { w_mbps = 0.0; w_feasible = false; w_repivoted = p.Problem.repivoted }
+  | Problem.Unbounded -> failwith "Column_gen: what-if master cannot be unbounded"
+  | Problem.Solution sol ->
+    let shortfall =
+      Array.fold_left (fun acc v -> acc +. sol.Problem.values v) 0.0 s.s_shortfall_vars
+    in
+    if shortfall > 1e-6 then
+      { w_mbps = 0.0; w_feasible = false; w_repivoted = p.Problem.repivoted }
+    else
+      {
+        w_mbps = Float.max 0.0 (sol.Problem.values s.s_f_var);
+        w_feasible = true;
+        w_repivoted = p.Problem.repivoted;
+      }

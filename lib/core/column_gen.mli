@@ -177,3 +177,111 @@ val available_pooled :
     starting masters across queries.  The pool must only ever be used
     with one model.  Telemetry: [colgen.pool_hits] counts replayed
     seeds, [colgen.pool_inserts] newly recorded assignments. *)
+
+(** {1 Congestion pricing and what-if queries}
+
+    A {e certified} optimum of Equation 6 carries its dual story: the
+    binding independent-set time shares are the congestion.  The
+    [_sens] entry points additionally return a {!sensitivity} — the
+    master tableau kept warm at its optimal basis plus the duals and
+    reduced costs frozen at convergence — on which shadow prices are
+    O(1) reads and demand-scaling what-ifs are O(m²) basis reuses
+    ({!Wsn_lp.Problem.predict_rhs_delta}), falling back to a bounded
+    re-pivot only outside the basis-stability range.  Uncertified
+    brackets return [None]: a heuristic lower bound has no optimal
+    basis to differentiate.  Sensitivity reads never mutate the warm
+    master, so interleaving them with further queries is safe. *)
+
+type sensitivity
+(** Dual-value view over one certified {!result}. *)
+
+val available_sens :
+  ?max_iterations:int ->
+  ?pricer:pricer ->
+  ?shards:int ->
+  ?lp_pricing:lp_pricing ->
+  ?stabilize:bool ->
+  Wsn_conflict.Model.t ->
+  background:Flow.t list ->
+  path:int list ->
+  result option * sensitivity option
+(** As {!available} with [~warm:true] (the sensitivity layer needs the
+    live tableau), additionally returning the dual view when the run
+    converged certified and the background is feasible. *)
+
+val available_pooled_sens :
+  ?max_iterations:int ->
+  ?pricer:pricer ->
+  ?shards:int ->
+  ?lp_pricing:lp_pricing ->
+  ?stabilize:bool ->
+  pool ->
+  Wsn_conflict.Model.t ->
+  background:Flow.t list ->
+  path:int list ->
+  result option * sensitivity option
+(** As {!available_pooled}, with the dual view on certified results. *)
+
+val sensitivity_bandwidth : sensitivity -> float
+(** The certified available bandwidth the view was built at (equals the
+    originating result's [bandwidth_mbps]). *)
+
+val sigma_price : sensitivity -> float
+(** Shadow price of the total-share budget row: the Mbps of available
+    bandwidth one extra unit of schedulable time would buy — the
+    congestion price of airtime itself. *)
+
+val link_prices : sensitivity -> (int * float) list
+(** Per-link congestion prices in universe order: [(link, price)] where
+    [price ≥ 0] is the Mbps of available bandwidth lost per extra Mbps
+    of background load on that link (the negated cover-row dual).
+    Links of a mutually-conflicting clique saturate together, so the
+    binding cliques are exactly the runs of positive prices. *)
+
+val set_prices : sensitivity -> (Wsn_conflict.Model.assignment * float) list
+(** Per-independent-set reduced costs, one per master column in
+    generation order: [0] on the sets the optimal schedule uses,
+    positive on sets whose forced use would cost that much objective —
+    the price of scheduling a non-optimal set. *)
+
+val flow_derivative : sensitivity -> int -> float
+(** [flow_derivative s k] is ∂(available bandwidth)/∂(demand of the
+    [k]-th background flow) at the optimum, in Mbps per Mbps — [≤ 0];
+    the sum of the cover-row duals along the flow's path.
+    @raise Invalid_argument on a flow index out of range. *)
+
+val throttle_ranking : sensitivity -> (int * float) list
+(** Background flows ranked by what admission would gain from
+    squeezing them: [(flow index, gain)] with
+    [gain = -flow_derivative], sorted by descending gain (ties keep
+    flow order).  The head is the flow an operator should throttle
+    first to admit more traffic on the probed path. *)
+
+val scale_ranging : sensitivity -> int -> float * float
+(** [scale_ranging s k] bounds the demand-scaling factor of flow [k]
+    over which the optimal basis — hence the linear prediction and all
+    prices — stays exact: [lo ≤ 1 ≤ hi] (clamped to [lo ≥ 0]).
+    @raise Invalid_argument on a flow index out of range. *)
+
+type whatif = {
+  w_mbps : float;
+      (** Predicted available bandwidth on the probed path ([0] when
+          the scaled background is infeasible). *)
+  w_feasible : bool;  (** Whether the scaled background is schedulable. *)
+  w_repivoted : bool;
+      (** [false]: pure basis reuse (factor inside {!scale_ranging});
+          [true]: a snapshotted re-pivot ran. *)
+}
+
+val whatif_scale : sensitivity -> int -> factor:float -> whatif
+(** [whatif_scale s k ~factor] answers "what if flow [k]'s demand were
+    scaled by [factor]?" from the cached basis, without re-running
+    column generation and without mutating the warm master.  Exact over
+    the column pool frozen at convergence: inside {!scale_ranging} this
+    {e is} the Equation-6 optimum restricted to those columns; outside,
+    a demand increase may in principle call for columns never priced
+    in, so treat large upward factors as a (still useful) upper bound
+    on the loss.  Telemetry: [colgen.whatifs],
+    [colgen.whatif_repivots].
+    @raise Invalid_argument on a flow index out of range or a negative
+    or non-finite factor. *)

@@ -222,6 +222,69 @@ let resolve w =
   outcome_of_result ~n_user:w.wn_user ~enc:w.wenc ~flip:w.wflip ~const_term:w.wconst
     ~extra:w.wextra (Tableau.reoptimize w.wstate)
 
+(* Sensitivity wrappers: translate between declared variables / user
+   constraint rows and the tableau's x indices / normalised rows.  The
+   tableau applies the stored row flips itself, so right-hand-side
+   directions pass through in caller sign; objective deltas flip with
+   the optimisation direction. *)
+
+type prediction = { predicted : outcome; repivoted : bool }
+
+let warm_basis w = Tableau.basis_snapshot w.wstate
+
+let warm_duals w = Array.sub (Tableau.dual_values w.wstate) 0 w.wn_user
+
+let x_index_of_var w v =
+  if v < 0 then invalid_arg "Problem: unknown variable"
+  else if v < w.wn0 then
+    match w.wenc.(v) with
+    | Shifted { col; _ } -> col
+    | Split _ -> invalid_arg "Problem: free variable has no single column"
+  else
+    match List.assoc_opt v w.wextra with
+    | Some xi -> xi
+    | None -> invalid_arg "Problem: unknown variable"
+
+let warm_reduced_cost w v = Tableau.reduced_cost_of w.wstate (x_index_of_var w v)
+
+let check_dir w dir =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= w.wn_user then invalid_arg "Problem: unknown constraint")
+    dir
+
+let rhs_ranging w ~dir =
+  check_dir w dir;
+  Tableau.rhs_ranging w.wstate ~dir
+
+let predict_rhs_delta w ~dir ~t =
+  check_dir w dir;
+  let r, repivoted = Tableau.predict_rhs w.wstate ~dir ~t in
+  {
+    predicted =
+      outcome_of_result ~n_user:w.wn_user ~enc:w.wenc ~flip:w.wflip ~const_term:w.wconst
+        ~extra:w.wextra r;
+    repivoted;
+  }
+
+let obj_ranging w v =
+  let lo, hi = Tableau.cost_ranging w.wstate (x_index_of_var w v) in
+  if w.wflip >= 0.0 then (lo, hi) else (-.hi, -.lo)
+
+let predict_obj_delta w v ~delta =
+  let xi = x_index_of_var w v in
+  let shift =
+    if v < w.wn0 then match w.wenc.(v) with Shifted { lo; _ } -> lo | Split _ -> 0.0
+    else 0.0
+  in
+  let r, repivoted = Tableau.predict_cost w.wstate ~col:xi ~delta:(w.wflip *. delta) in
+  {
+    predicted =
+      outcome_of_result ~n_user:w.wn_user ~enc:w.wenc ~flip:w.wflip
+        ~const_term:(w.wconst +. (delta *. shift)) ~extra:w.wextra r;
+    repivoted;
+  }
+
 let value_exn outcome v =
   match outcome with
   | Solution s -> s.values v

@@ -91,6 +91,64 @@ val resolve : warm -> outcome
     a fresh {!solve}.  Same optimum as rebuilding, though a degenerate
     tie may pick a different optimal basis. *)
 
+(** {1 Sensitivity}
+
+    Post-optimal queries on a warm handle whose last {!solve_warm} /
+    {!resolve} returned [Solution _].  None of them mutate the handle:
+    predictions that leave the basis-stability range re-pivot a
+    snapshot and roll back, so subsequent {!resolve} calls still see
+    the unperturbed problem. *)
+
+type prediction = {
+  predicted : outcome;  (** Outcome of the perturbed problem. *)
+  repivoted : bool;
+      (** [false] when the answer came from the factorized basis alone
+          (perturbation inside the stability range); [true] when a
+          bounded re-pivot ran. *)
+}
+
+val warm_basis : warm -> int array
+(** Opaque fingerprint of the current optimal basis (per-row basic
+    column indices); equal arrays across calls mean the basis — and
+    with it every sensitivity range — did not move. *)
+
+val warm_duals : warm -> float array
+(** Duals of the current basis, same convention and order as
+    [row_duals] — one per {!add_constraint} row, maximisation form —
+    without re-running {!resolve}. *)
+
+val warm_reduced_cost : warm -> var -> float
+(** Reduced cost [y·a − c] of a variable's column in the maximisation
+    form: [≥ 0] at the optimum, [0] if basic; the rate at which the
+    (maximisation) objective falls per unit of forced increase.
+    @raise Invalid_argument on an unknown or free variable. *)
+
+val rhs_ranging : warm -> dir:(int * float) list -> float * float
+(** [rhs_ranging w ~dir] bounds the step [t] of the right-hand-side
+    move [rhs + t·dir] ([dir] sparse over {!add_constraint} rows) over
+    which the current basis stays optimal; [lo ≤ 0 ≤ hi].  Inside the
+    range duals are constant and the optimum is linear in [t].
+    @raise Invalid_argument on an unknown constraint index. *)
+
+val predict_rhs_delta : warm -> dir:(int * float) list -> t:float -> prediction
+(** Optimum of the problem with right-hand side [rhs + t·dir]: O(m²)
+    arithmetic on the cached basis inside the {!rhs_ranging} interval,
+    a snapshotted dual-simplex re-pivot outside ([repivoted = true]).
+    @raise Invalid_argument on an unknown constraint index. *)
+
+val obj_ranging : warm -> var -> float * float
+(** Interval of changes to a variable's objective coefficient (caller
+    direction) over which the current basis stays optimal;
+    [lo ≤ 0 ≤ hi], unbounded on the side that only makes the variable
+    less attractive.
+    @raise Invalid_argument on an unknown or free variable. *)
+
+val predict_obj_delta : warm -> var -> delta:float -> prediction
+(** Optimum after adding [delta] (caller direction) to a variable's
+    objective coefficient; analytic inside {!obj_ranging}, snapshotted
+    re-pivot outside.
+    @raise Invalid_argument on an unknown or free variable. *)
+
 val value_exn : outcome -> var -> float
 (** [value_exn o v] extracts a variable value.
     @raise Failure if [o] is not [Solution _]. *)

@@ -20,6 +20,10 @@ let m_candidates = Telemetry.counter "lp.pricing_candidates"
 
 let h_resolve_pivots = Telemetry.histogram "lp.pivots_per_resolve"
 
+let m_predicts = Telemetry.counter "lp.predicts"
+
+let m_predict_repivots = Telemetry.counter "lp.predict_repivots"
+
 type pricing = Dantzig | Devex
 
 let default_pricing = ref Devex
@@ -577,3 +581,241 @@ let reoptimize st =
       match outcome with
       | Unbounded_phase -> Unbounded
       | Finished -> extract st)
+
+(* {1 Sensitivity analysis}
+
+   Everything below reads the solved tableau without committing any
+   mutation: the optimal basis B is implicit in [basis]/[sig_col], and
+   because the signature columns hold B⁻¹e_i, both the dual vector and
+   the response of the basic solution to a right-hand-side direction are
+   O(m²) reads.  The prediction entry points fall back to a bounded
+   re-pivot (dual simplex for rhs moves, primal for cost moves) behind a
+   full snapshot/rollback when the perturbation leaves the range over
+   which the current basis stays optimal. *)
+
+let basis_snapshot st = Array.copy st.tab.basis
+
+let dual_values st =
+  let tab = st.tab in
+  Array.init tab.m (fun i -> st.flip.(i) *. get tab tab.m st.sig_col.(i))
+
+let objective_value st = rhs st.tab st.tab.m
+
+(* x index (as used by [extract] results) to tableau column. *)
+let tab_col_of_x st xi =
+  if xi < 0 || xi >= st.n + st.appended then
+    invalid_arg "Tableau: x index out of range";
+  if xi < st.n then xi else st.first_appended + (xi - st.n)
+
+let reduced_cost_of st xi = reduced_cost st.tab (tab_col_of_x st xi)
+
+(* Response of every row's rhs cell (objective cell included, at index
+   [m]) to a unit step along the caller-row direction [dir]:
+   g = B⁻¹ (flip ⊙ dir), read off the signature columns. *)
+let direction_column st ~dir =
+  let tab = st.tab in
+  let g = Array.make (tab.m + 1) 0.0 in
+  List.iter
+    (fun (k, dk) ->
+      if k < 0 || k >= tab.m then invalid_arg "Tableau: direction row out of range";
+      let v = st.flip.(k) *. dk in
+      if v <> 0.0 then begin
+        let sc = st.sig_col.(k) in
+        for i = 0 to tab.m do
+          g.(i) <- g.(i) +. (v *. get tab i sc)
+        done
+      end)
+    dir;
+  g
+
+let rhs_range_of st g =
+  let tab = st.tab in
+  let lo = ref Float.neg_infinity and hi = ref Float.infinity in
+  for i = 0 to tab.m - 1 do
+    let gi = g.(i) in
+    if gi > eps then begin
+      let bound = -.rhs tab i /. gi in
+      if bound > !lo then lo := bound
+    end
+    else if gi < -.eps then begin
+      let bound = -.rhs tab i /. gi in
+      if bound < !hi then hi := bound
+    end
+  done;
+  (Float.min !lo 0.0, Float.max !hi 0.0)
+
+let rhs_ranging st ~dir = rhs_range_of st (direction_column st ~dir)
+
+(* Build a result from basic values supplied per row, without touching
+   the tableau (shape of [extract], values injected). *)
+let result_of_rows st ~value_of_row ~objective ~duals =
+  let tab = st.tab in
+  let x = Vector.zeros (st.n + st.appended) in
+  for i = 0 to tab.m - 1 do
+    let j = tab.basis.(i) in
+    let v = value_of_row i in
+    let v = if v < 0.0 then 0.0 else v in
+    if j < st.n then x.(j) <- v
+    else if j >= st.first_appended then x.(st.n + (j - st.first_appended)) <- v
+  done;
+  Optimal { x; objective; duals = Vector.init tab.m (fun i -> duals.(i)) }
+
+type dual_outcome = Dual_finished | Dual_infeasible
+
+(* Dual simplex: the basis is dual feasible (reduced costs ≥ -eps) but
+   some basic values went negative.  Leaving row = most negative rhs;
+   entering column minimises z_j / (-a_rj) over a_rj < -eps so the
+   z-row stays non-negative, ties to the smallest column index.  No
+   eligible entering column proves primal infeasibility. *)
+let dual_simplex st =
+  let tab = st.tab in
+  let max_iters = 200 * (tab.m + tab.ncols + 10) in
+  let d = tab.data in
+  let s = stride tab in
+  let rec loop iter =
+    if iter > max_iters then failwith "Tableau.predict: dual simplex iteration cap exceeded";
+    let row = ref (-1) and worst = ref (-.eps) in
+    for i = 0 to tab.m - 1 do
+      let r = rhs tab i in
+      if r < !worst then begin
+        worst := r;
+        row := i
+      end
+    done;
+    if !row < 0 then Dual_finished
+    else begin
+      let r = !row in
+      let rb = r * s and zb = tab.m * s in
+      let best = ref (-1) and best_ratio = ref Float.infinity in
+      for j = 0 to tab.ncols - 1 do
+        if not (is_artificial tab j) then begin
+          let a = Array.unsafe_get d (rb + j) in
+          if a < -.eps then begin
+            let ratio = Array.unsafe_get d (zb + j) /. -.a in
+            if ratio < !best_ratio -. eps then begin
+              best := j;
+              best_ratio := ratio
+            end
+          end
+        end
+      done;
+      if !best < 0 then Dual_infeasible
+      else begin
+        pivot tab ~row:r ~col:!best;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let predict_rhs st ~dir ~t =
+  Telemetry.incr m_predicts;
+  let tab = st.tab in
+  let g = direction_column st ~dir in
+  let lo, hi = rhs_range_of st g in
+  if t >= lo -. eps && t <= hi +. eps then
+    (* Inside the optimality range the basis is unchanged: basic values
+       and the objective move linearly, the duals not at all. *)
+    ( result_of_rows st
+        ~value_of_row:(fun i -> rhs tab i +. (t *. g.(i)))
+        ~objective:(objective_value st +. (t *. g.(tab.m)))
+        ~duals:(dual_values st),
+      false )
+  else begin
+    Telemetry.incr m_predict_repivots;
+    let data_snap = Array.copy tab.data in
+    let basis_snap = Array.copy tab.basis in
+    for i = 0 to tab.m do
+      set tab i tab.cap (rhs tab i +. (t *. g.(i)))
+    done;
+    let outcome =
+      match dual_simplex st with
+      | Dual_infeasible -> Infeasible
+      | Dual_finished -> (
+        (* Clear float drift: clamp the (-eps, 0) residues and let a
+           plain primal pass mop up any reduced cost the pivots pushed
+           below zero. *)
+        for i = 0 to tab.m - 1 do
+          if rhs tab i < 0.0 then set tab i tab.cap 0.0
+        done;
+        match
+          optimise tab ~allowed:(fun j -> not (is_artificial tab j)) ~iters:m_phase2_iters
+        with
+        | Unbounded_phase -> Unbounded
+        | Finished -> extract st)
+    in
+    Array.blit data_snap 0 tab.data 0 (Array.length data_snap);
+    Array.blit basis_snap 0 tab.basis 0 tab.m;
+    (outcome, true)
+  end
+
+let cost_ranging st xi =
+  let tab = st.tab in
+  let j = tab_col_of_x st xi in
+  let row = ref (-1) in
+  for i = 0 to tab.m - 1 do
+    if tab.basis.(i) = j then row := i
+  done;
+  if !row < 0 then (Float.neg_infinity, Float.max 0.0 (reduced_cost tab j))
+  else begin
+    (* Raising the basic column's cost by δ turns every other reduced
+       cost into z_k + δ·a_rk, which must stay ≥ 0. *)
+    let r = !row in
+    let lo = ref Float.neg_infinity and hi = ref Float.infinity in
+    for k = 0 to tab.ncols - 1 do
+      if k <> j && not (is_artificial tab k) then begin
+        let a = get tab r k in
+        if Float.abs a > eps then begin
+          let bound = -.reduced_cost tab k /. a in
+          if a > 0.0 then begin
+            if bound > !lo then lo := bound
+          end
+          else if bound < !hi then hi := bound
+        end
+      end
+    done;
+    (Float.min !lo 0.0, Float.max !hi 0.0)
+  end
+
+let predict_cost st ~col:xi ~delta =
+  Telemetry.incr m_predicts;
+  let tab = st.tab in
+  let j = tab_col_of_x st xi in
+  let row = ref (-1) in
+  for i = 0 to tab.m - 1 do
+    if tab.basis.(i) = j then row := i
+  done;
+  let lo, hi = cost_ranging st xi in
+  if delta >= lo -. eps && delta <= hi +. eps then
+    if !row < 0 then (extract st, false)
+    else begin
+      (* The basis (hence x) is unchanged; the objective moves by
+         δ·x_j and each dual by δ·(row r of B⁻¹). *)
+      let r = !row in
+      let duals = dual_values st in
+      for i = 0 to tab.m - 1 do
+        duals.(i) <- duals.(i) +. (st.flip.(i) *. delta *. get tab r st.sig_col.(i))
+      done;
+      ( result_of_rows st
+          ~value_of_row:(fun i -> rhs tab i)
+          ~objective:(objective_value st +. (delta *. rhs tab r))
+          ~duals,
+        false )
+    end
+  else begin
+    Telemetry.incr m_predict_repivots;
+    let data_snap = Array.copy tab.data in
+    let basis_snap = Array.copy tab.basis in
+    set tab tab.m j (get tab tab.m j -. delta);
+    if !row >= 0 then add_scaled_row tab ~src:!row ~dst:tab.m delta;
+    let outcome =
+      match
+        optimise tab ~allowed:(fun j -> not (is_artificial tab j)) ~iters:m_phase2_iters
+      with
+      | Unbounded_phase -> Unbounded
+      | Finished -> extract st
+    in
+    Array.blit data_snap 0 tab.data 0 (Array.length data_snap);
+    Array.blit basis_snap 0 tab.basis 0 tab.m;
+    (outcome, true)
+  end

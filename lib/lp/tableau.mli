@@ -105,3 +105,64 @@ val reoptimize : state -> result
     deterministic amounts and restore exact feasibility afterwards
     (rolling back to the unperturbed tableau if the clean-up fails), so
     the returned optimum is always an optimum of the exact problem. *)
+
+(** {1 Sensitivity analysis}
+
+    Post-optimal queries on a solved state.  All of them read the
+    optimal basis through the signature columns (which hold B⁻¹e_i), so
+    a query costs O(m²) arithmetic and no pivots; the [predict_*]
+    entry points additionally fall back to a bounded re-pivot behind a
+    full snapshot/rollback when the perturbation leaves the optimality
+    range, so the state observable through {!reoptimize} is never
+    changed by a prediction.  Row indices refer to the original
+    constraint order and sign of {!solve_open}; x indices follow the
+    {!reoptimize} result layout (originals then appended). *)
+
+val basis_snapshot : state -> int array
+(** Per-row basic column indices of the current optimal basis (a copy;
+    entries index the internal tableau columns and are meaningful for
+    comparing bases across resolves, not for reading coefficients). *)
+
+val dual_values : state -> float array
+(** One dual per input row, identical to the [duals] of the last
+    {!reoptimize} result: [Σ_i duals.(i)·b.(i) = objective]. *)
+
+val objective_value : state -> float
+(** Current objective cell (maximisation form). *)
+
+val reduced_cost_of : state -> int -> float
+(** [reduced_cost_of st xi] is the z-row entry [y·a_j − c_j] of the
+    column behind x index [xi] — [≥ 0] at the optimum, [0] on basic
+    columns; the rate at which the objective would {e fall} per unit of
+    forced increase of a nonbasic [x.(xi)].
+    @raise Invalid_argument if [xi] is out of range. *)
+
+val rhs_ranging : state -> dir:(int * float) list -> float * float
+(** [rhs_ranging st ~dir] bounds the step [t] of the right-hand-side
+    perturbation [b + t·dir] ([dir] sparse over input rows, original
+    sign) over which the current basis stays optimal: inside
+    [(lo, hi)] (with [lo ≤ 0 ≤ hi]) the duals are constant and the
+    optimum moves linearly in [t].
+    @raise Invalid_argument on a row index out of range. *)
+
+val predict_rhs : state -> dir:(int * float) list -> t:float -> result * bool
+(** [predict_rhs st ~dir ~t] evaluates the optimum of the problem with
+    right-hand side [b + t·dir].  Inside the {!rhs_ranging} interval
+    this is pure arithmetic on the factorized basis (flag [false]);
+    outside, a snapshotted dual-simplex re-pivot computes the exact new
+    optimum and rolls the tableau back (flag [true]).  Either way [st]
+    still describes the unperturbed problem afterwards. *)
+
+val cost_ranging : state -> int -> float * float
+(** [cost_ranging st xi] bounds the change [δ] of the objective
+    coefficient of x index [xi] (maximisation form) over which the
+    current basis stays optimal, [lo ≤ 0 ≤ hi] ([lo = -∞] on a
+    nonbasic column, whose coefficient may fall freely). *)
+
+val predict_cost : state -> col:int -> delta:float -> result * bool
+(** [predict_cost st ~col ~delta] evaluates the optimum after adding
+    [delta] to the objective coefficient of x index [col]
+    (maximisation form).  Inside the {!cost_ranging} interval the basis
+    and primal solution are unchanged (flag [false], objective and
+    duals adjusted analytically); outside, a snapshotted primal
+    re-pivot computes the exact optimum and rolls back (flag [true]). *)

@@ -1,6 +1,8 @@
 type request =
   | Admit of { source : int; target : int; demand_mbps : float }
   | Query of { source : int; target : int; demand_mbps : float option }
+  | Whatif of { source : int; target : int; queries : (int * float) list; exact : bool }
+  | Prices of { source : int; target : int }
   | Release_flow of int
   | Release_nth of int
   | Snapshot
@@ -60,6 +62,44 @@ let parse_request line =
               | None -> Error "field \"demand_mbps\" must be a number")
           in
           Ok (Query { source; target; demand_mbps })
+        | Some "whatif" ->
+          let* source = field_int json "source" in
+          let* target = field_int json "target" in
+          let* exact =
+            match Json.member "exact" json with
+            | None -> Ok false
+            | Some (Json.Bool b) -> Ok b
+            | Some _ -> Error "field \"exact\" must be a boolean"
+          in
+          let query_of j =
+            let* flow = field_int j "flow" in
+            let* factor = field_float j "factor" in
+            if not (Float.is_finite factor) || factor < 0.0 then
+              Error "field \"factor\" must be finite and non-negative"
+            else Ok (flow, factor)
+          in
+          (match (Json.member "queries" json, Json.member "flow" json) with
+           | Some _, Some _ -> Error "whatif takes \"queries\" or \"flow\"+\"factor\", not both"
+           | Some qs, None -> (
+             match Json.to_list qs with
+             | None -> Error "field \"queries\" must be an array"
+             | Some [] -> Error "field \"queries\" must not be empty"
+             | Some items ->
+               let rec gather acc = function
+                 | [] -> Ok (List.rev acc)
+                 | j :: rest -> (
+                   match query_of j with Ok q -> gather (q :: acc) rest | Error _ as e -> e)
+               in
+               let* queries = gather [] items in
+               Ok (Whatif { source; target; queries; exact }))
+           | None, Some _ ->
+             let* q = query_of json in
+             Ok (Whatif { source; target; queries = [ q ]; exact })
+           | None, None -> Error "whatif needs \"queries\" or \"flow\"+\"factor\"")
+        | Some "prices" ->
+          let* source = field_int json "source" in
+          let* target = field_int json "target" in
+          Ok (Prices { source; target })
         | Some "release" -> (
           match (Json.member "flow" json, Json.member "nth" json) with
           | Some _, Some _ -> Error "release takes \"flow\" or \"nth\", not both"
@@ -134,6 +174,48 @@ let query_response ~id ~path ~available_mbps ~admissible =
   (match admissible with
    | Some b -> Printf.bprintf buf ",\"admissible\":%b" b
    | None -> ());
+  closed buf
+
+let whatif_response ~id ~path ~base_mbps ~results =
+  let buf = start ~id ~ok:true "whatif" in
+  add_path buf path;
+  add_mbps buf "base_mbps" base_mbps;
+  Buffer.add_string buf ",\"results\":[";
+  List.iteri
+    (fun i (flow, factor, available_mbps, feasible) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"flow\":%d,\"factor\":%.3f" flow factor;
+      add_mbps buf "available_mbps" available_mbps;
+      (* The delta is computed between the two {e quantised} figures, so
+         it is itself bit-stable and consistent with the other fields. *)
+      add_mbps buf "delta_mbps" (mbps available_mbps -. mbps base_mbps);
+      Printf.bprintf buf ",\"feasible\":%b}" feasible)
+    results;
+  Buffer.add_char buf ']';
+  closed buf
+
+let prices_response ~id ~path ~available_mbps ~sigma_mbps ~links ~throttle =
+  let buf = start ~id ~ok:true "prices" in
+  add_path buf path;
+  add_mbps buf "available_mbps" available_mbps;
+  add_mbps buf "sigma_mbps" sigma_mbps;
+  Buffer.add_string buf ",\"link_prices\":[";
+  List.iteri
+    (fun i (link, price) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"link\":%d" link;
+      add_mbps buf "price" price;
+      Buffer.add_char buf '}')
+    links;
+  Buffer.add_string buf "],\"throttle\":[";
+  List.iteri
+    (fun i (flow, gain) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"flow\":%d" flow;
+      add_mbps buf "gain_mbps" gain;
+      Buffer.add_char buf '}')
+    throttle;
+  Buffer.add_char buf ']';
   closed buf
 
 let release_response ~id ~flow ~remaining =

@@ -5,10 +5,25 @@
     {v
     {"op":"admit","source":3,"target":17,"demand_mbps":1.5}
     {"op":"query","source":5,"target":9}            // demand optional
+    {"op":"whatif","source":5,"target":9,"flow":2,"factor":1.5}
+    {"op":"whatif","source":5,"target":9,            // batched form
+     "queries":[{"flow":2,"factor":1.5},{"flow":0,"factor":0.5}]}
+    {"op":"whatif","source":5,"target":9,"flow":2,"factor":2.0,"exact":true}
+    {"op":"prices","source":5,"target":9}
     {"op":"release","flow":2}                       // by flow id, or
     {"op":"release","nth":0}                        // k-th oldest live
     {"op":"snapshot"}  {"op":"stats"}  {"op":"ping"}  {"op":"shutdown"}
     v}
+
+    [whatif] asks "what would the available bandwidth on the
+    source→target path become if live flow [k]'s demand were scaled by
+    [factor]?" — answered from the warm master's cached optimal basis
+    without re-running column generation ([factor] must be finite and
+    [≥ 0]; [0] previews removing the flow).  [exact:true] forces a full
+    re-solve per query instead (the reference answer).  [prices]
+    reports the congestion prices frozen at the path's last certified
+    optimum: per-link shadow prices and the throttle ranking of the
+    live background flows.
 
     Every request may carry an ["id"]; responses echo it (or the
     request's 1-based sequence number when absent) so clients can match
@@ -23,6 +38,8 @@
 type request =
   | Admit of { source : int; target : int; demand_mbps : float }
   | Query of { source : int; target : int; demand_mbps : float option }
+  | Whatif of { source : int; target : int; queries : (int * float) list; exact : bool }
+  | Prices of { source : int; target : int }
   | Release_flow of int
   | Release_nth of int
   | Snapshot
@@ -55,6 +72,27 @@ val admit_response :
 
 val query_response :
   id:int -> path:int list option -> available_mbps:float -> admissible:bool option -> string
+
+val whatif_response :
+  id:int ->
+  path:int list option ->
+  base_mbps:float ->
+  results:(int * float * float * bool) list ->
+  string
+(** [results] are (flow id, factor, predicted available Mbps,
+    feasible), one per query in request order; [delta_mbps] on the wire
+    is the difference of the two quantised figures. *)
+
+val prices_response :
+  id:int ->
+  path:int list option ->
+  available_mbps:float ->
+  sigma_mbps:float ->
+  links:(int * float) list ->
+  throttle:(int * float) list ->
+  string
+(** [links] are (link, congestion price) in path order; [throttle] are
+    (flow id, gain) sorted by descending gain. *)
 
 val release_response : id:int -> flow:int -> remaining:int -> string
 

@@ -17,6 +17,10 @@ let m_releases = Telemetry.counter "server.releases"
 
 let m_queries = Telemetry.counter "server.queries"
 
+let m_whatifs = Telemetry.counter "server.whatifs"
+
+let m_prices = Telemetry.counter "server.prices"
+
 let m_errors = Telemetry.counter "server.errors"
 
 let m_memo_hits = Telemetry.counter "server.memo_hits"
@@ -43,6 +47,11 @@ type t = {
      Keys are exact, so a hit replays a computation the cold mode would
      repeat verbatim. *)
   answers : (string, float) Hashtbl.t;
+  (* Single-entry dual-view cache keyed like [answers]: the sensitivity
+     of the last certified optimum, for whatif/prices requests.  Reads
+     on it never mutate the warm master, so it stays valid until the
+     flow set changes. *)
+  mutable sens : (string * Column_gen.sensitivity) option;
   mutable flows : (int * Flow.t) list;  (* oldest admission first *)
   mutable next_flow_id : int;
   mutable cached_schedule : Schedule.t option;  (* Warm only *)
@@ -72,6 +81,7 @@ let create ?(metric = Metrics.Average_e2e_delay) ?(pricer = Column_gen.Exact) ?(
     stabilize;
     pool = (match mode with Warm -> Some (Column_gen.create_pool ()) | Cold -> None);
     answers = Hashtbl.create 64;
+    sens = None;
     flows = [];
     next_flow_id = 0;
     cached_schedule = None;
@@ -101,7 +111,9 @@ let schedule t =
       t.cached_schedule <- s;
       s)
 
-let invalidate t = t.cached_schedule <- None
+let invalidate t =
+  t.cached_schedule <- None;
+  t.sens <- None
 
 let memo_key background path =
   let buf = Buffer.create 128 in
@@ -114,11 +126,13 @@ let memo_key background path =
   List.iter (fun l -> Printf.bprintf buf "%d," l) path;
   Buffer.contents buf
 
-(* Availability of [path] under the current background.  Warm goes
+(* Availability of [path] under background [bg].  Warm goes
    memo → pooled warm column generation; Cold re-enumerates and solves
-   from scratch.  Both optimise the same Equation-6 LP. *)
-let availability t path =
-  let bg = background t in
+   from scratch.  Both optimise the same Equation-6 LP.  [bg] is a
+   parameter (not always the live set) so exact what-if queries can
+   price hypothetically scaled backgrounds through the same machinery
+   — including the warm memo, where a repeated what-if is a hit. *)
+let availability_of t ~bg ~path =
   match t.smode with
   | Cold -> (
     match Path_bandwidth.available t.model ~background:bg ~path with
@@ -140,6 +154,33 @@ let availability t path =
         Hashtbl.replace t.answers key r.Column_gen.bandwidth_mbps;
         Some r.Column_gen.bandwidth_mbps
       | None -> None))
+
+let availability t path = availability_of t ~bg:(background t) ~path
+
+(* Dual view of the Equation-6 optimum for [path] under [bg]: [None]
+   when the optimum is uncertified (heuristic stall) or the background
+   infeasible.  Warm keeps a single-entry cache and answers through the
+   pooled warm master; Cold builds a throwaway exact view per request,
+   consistent with its no-state-reuse contract. *)
+let sens_for t ~bg ~path =
+  match t.smode with
+  | Cold ->
+    snd (Column_gen.available_sens ~pricer:Column_gen.Exact t.model ~background:bg ~path)
+  | Warm -> (
+    let key = memo_key bg path in
+    match t.sens with
+    | Some (k, s) when String.equal k key -> Some s
+    | _ ->
+      let pool = Option.get t.pool in
+      let r, s =
+        Column_gen.available_pooled_sens ~pricer:t.pricer ~shards:t.shards
+          ~lp_pricing:t.lp_pricing ~stabilize:t.stabilize pool t.model ~background:bg ~path
+      in
+      (match r with
+       | Some res -> Hashtbl.replace t.answers key res.Column_gen.bandwidth_mbps
+       | None -> ());
+      (match s with Some s -> t.sens <- Some (key, s) | None -> ());
+      s)
 
 (* Route then price: the paper's idleness-aware QoS routing (§4) over
    the current schedule, then the Equation-6 LP on the chosen path. *)
@@ -199,6 +240,101 @@ let do_query t ~id ~source ~target ~demand_mbps =
     in
     Ok (Protocol.query_response ~id ~path ~available_mbps:avail ~admissible)
 
+(* Position of a live flow id in the background list (admission
+   order), which is how {!Column_gen}'s sensitivity layer indexes
+   flows. *)
+let flow_position t fid =
+  let rec go i = function
+    | [] -> None
+    | (f, _) :: rest -> if f = fid then Some i else go (i + 1) rest
+  in
+  go 0 t.flows
+
+let scaled_background bg pos factor =
+  List.mapi
+    (fun i (f : Flow.t) ->
+      if i <> pos then f else Flow.make ~path:f.path ~demand_mbps:(f.demand_mbps *. factor))
+    bg
+
+let do_whatif t ~id ~source ~target ~queries ~exact =
+  let* () = check_node t "source" source in
+  let* () = check_node t "target" target in
+  if source = target then Error "source equals target"
+  else
+    let rec positions acc = function
+      | [] -> Ok (List.rev acc)
+      | (fid, factor) :: rest -> (
+        match flow_position t fid with
+        | Some pos -> positions ((fid, pos, factor) :: acc) rest
+        | None -> Error (Printf.sprintf "unknown flow %d" fid))
+    in
+    let* queries = positions [] queries in
+    let* path, base = route_and_price t ~source ~target in
+    Telemetry.incr m_whatifs;
+    match path with
+    | None ->
+      (* No route: availability is 0 regardless of background, so every
+         answer is the vacuous (0, feasible) — identically in both
+         modes. *)
+      Ok
+        (Protocol.whatif_response ~id ~path:None ~base_mbps:0.0
+           ~results:(List.map (fun (fid, _, factor) -> (fid, factor, 0.0, true)) queries))
+    | Some p ->
+      let bg = background t in
+      let exact_answer pos factor =
+        match availability_of t ~bg:(scaled_background bg pos factor) ~path:p with
+        | Some v -> (v, true)
+        | None -> (0.0, false)
+      in
+      let answer =
+        if exact || t.smode = Cold then fun pos factor -> exact_answer pos factor
+        else
+          (* Predicted path: basis reuse on the cached dual view.  An
+             uncertified optimum has no view — fall back to exact
+             re-solves rather than fail the request. *)
+          match sens_for t ~bg ~path:p with
+          | Some s ->
+            fun pos factor ->
+              let w = Column_gen.whatif_scale s pos ~factor in
+              (w.Column_gen.w_mbps, w.Column_gen.w_feasible)
+          | None -> fun pos factor -> exact_answer pos factor
+      in
+      let results =
+        List.map
+          (fun (fid, pos, factor) ->
+            let v, feasible = answer pos factor in
+            (fid, factor, v, feasible))
+          queries
+      in
+      Ok (Protocol.whatif_response ~id ~path:(Some p) ~base_mbps:base ~results)
+
+let do_prices t ~id ~source ~target =
+  let* () = check_node t "source" source in
+  let* () = check_node t "target" target in
+  if source = target then Error "source equals target"
+  else
+    let* path, avail = route_and_price t ~source ~target in
+    match path with
+    | None -> Error "no route between source and target"
+    | Some p -> (
+      match sens_for t ~bg:(background t) ~path:p with
+      | None -> Error "congestion prices unavailable (optimum not certified)"
+      | Some s ->
+        Telemetry.incr m_prices;
+        let universe = Column_gen.link_prices s in
+        let links =
+          List.map
+            (fun l -> (l, Option.value (List.assoc_opt l universe) ~default:0.0))
+            p
+        in
+        let fid_of pos = fst (List.nth t.flows pos) in
+        let throttle =
+          List.map (fun (pos, gain) -> (fid_of pos, gain)) (Column_gen.throttle_ranking s)
+        in
+        Ok
+          (Protocol.prices_response ~id ~path:(Some p) ~available_mbps:avail
+             ~sigma_mbps:(Column_gen.sigma_price s) ~links ~throttle))
+
 let remove_flow t flow_id =
   match List.assoc_opt flow_id t.flows with
   | None -> None
@@ -253,6 +389,9 @@ let handle t ~id request =
     match request with
     | Protocol.Admit { source; target; demand_mbps } -> do_admit t ~id ~source ~target ~demand_mbps
     | Protocol.Query { source; target; demand_mbps } -> do_query t ~id ~source ~target ~demand_mbps
+    | Protocol.Whatif { source; target; queries; exact } ->
+      do_whatif t ~id ~source ~target ~queries ~exact
+    | Protocol.Prices { source; target } -> do_prices t ~id ~source ~target
     | Protocol.Release_flow fid -> do_release t ~id (`Flow fid)
     | Protocol.Release_nth k -> do_release t ~id (`Nth k)
     | Protocol.Snapshot -> do_snapshot t ~id

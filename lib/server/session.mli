@@ -21,6 +21,15 @@
     ({!Protocol.mbps}), so their response transcripts are byte-equal —
     the invariant the bench gates.
 
+    [whatif] and [prices] requests sit outside that byte-identity
+    contract: a [Warm] session answers them from the dual view of the
+    last certified optimum ({!Wsn_availbw.Column_gen.whatif_scale} —
+    basis reuse, no re-solve), while [Cold] re-solves each scaled
+    instance; outside the basis-stability range the prediction is a
+    bound, and duals are not unique under degeneracy.  [exact:true]
+    forces the re-solving path in either mode.  Within one session,
+    batched and sequential whatif queries are answered identically.
+
     Sessions are single-threaded; for concurrent serving give each its
     own session over {!Wsn_conflict.Model.fork_view}. *)
 

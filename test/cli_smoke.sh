@@ -132,6 +132,24 @@ strip_secs "$T/stdout" > "$T/scale-ref.txt"
 assert "reference master reproduces the default scale table (sans wall time)" \
   cmp -s "$T/scale-default.txt" "$T/scale-ref.txt"
 
+# --- whatif: sensitivity engine exit-code policy and determinism ------
+WHATIF=(whatif -n 12 --seed 7)
+expect_exit 0 "whatif runs" "$BIN" "${WHATIF[@]}"
+cp "$T/stdout" "$T/whatif.txt"
+assert "whatif prints the E18 table" grep -q "E18" "$T/whatif.txt"
+# Everything but the two wall-time columns is a pure function of the seed.
+strip_times() { sed -E 's/ +[0-9]+\.[0-9]{4} +[0-9]+\.[0-9]{4} *$//' "$1"; }
+expect_exit 0 "whatif reruns" "$BIN" "${WHATIF[@]}"
+assert "whatif deterministic (sans wall time)" \
+  test "$(strip_times "$T/whatif.txt")" = "$(strip_times "$T/stdout")"
+expect_exit 1 "whatif on an unschedulable background exits 1" \
+  "$BIN" "${WHATIF[@]}" --demand 1000
+expect_exit 2 "whatif --nodes 1 is a usage error" "$BIN" whatif --nodes 1
+expect_exit 2 "whatif bad --factors is a usage error" "$BIN" whatif --factors bogus
+expect_exit 2 "whatif negative factor is a usage error" "$BIN" whatif --factors=-1
+expect_exit 2 "whatif --flows -1 is a usage error" "$BIN" whatif --flows=-1
+expect_exit 2 "whatif --demand -1 is a usage error" "$BIN" whatif --demand=-1
+
 # --- MAC simulator: the fast path drives E6, domains stay invisible ---
 expect_exit 0 "e6 runs" "$BIN" e6 --seed 30
 cp "$T/stdout" "$T/e6.txt"

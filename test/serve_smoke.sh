@@ -79,6 +79,31 @@ echo 'not json' | "$BIN" serve >"$T/bad.txt"
 assert "malformed request still exits 0" test $? -eq 0
 assert "malformed request draws ok:false" grep -q '"ok":false' "$T/bad.txt"
 
+# --- whatif / prices over the wire ------------------------------------
+# A well-formed whatif against an admitted flow answers ok:true with a
+# results array; every malformed variant draws ok:false and leaves the
+# exit code at 0 (protocol errors are session data, not failures).
+{
+  echo '{"op":"admit","source":0,"target":1,"demand_mbps":0.25}'
+  echo '{"op":"whatif","source":0,"target":1,"flow":0,"factor":1.5}'
+  echo '{"op":"whatif","source":0,"target":1,"queries":[{"flow":0,"factor":0.5},{"flow":0,"factor":2}]}'
+  echo '{"op":"whatif","source":0,"target":1,"flow":0,"factor":1,"exact":true}'
+  echo '{"op":"prices","source":0,"target":1}'
+  echo '{"op":"whatif","source":0,"target":1}'
+  echo '{"op":"whatif","source":0,"target":1,"flow":0,"factor":-2}'
+  echo '{"op":"whatif","source":0,"target":1,"queries":[]}'
+  echo '{"op":"whatif","source":0,"target":1,"flow":99,"factor":1}'
+  echo '{"op":"prices","source":0}'
+} >"$T/whatif-req.txt"
+"$BIN" serve <"$T/whatif-req.txt" >"$T/whatif.txt"
+assert "whatif session exits 0" test $? -eq 0
+assert "whatif answers carry results" \
+  test "$(grep -c '"op":"whatif".*"results"' "$T/whatif.txt")" -eq 3
+assert "prices answer carries link prices" grep -q '"link_prices"' "$T/whatif.txt"
+assert "malformed whatif/prices lines draw ok:false" \
+  test "$(grep -c '"ok":false' "$T/whatif.txt")" -eq 5
+assert "unknown flow id is named in the error" grep -q 'unknown flow 99' "$T/whatif.txt"
+
 if [ "$fails" -gt 0 ]; then
   echo "serve_smoke: $fails check(s) failed" >&2
   exit 1

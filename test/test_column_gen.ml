@@ -414,4 +414,84 @@ let heuristic_suite =
     Alcotest.test_case "shards partition" `Quick test_shards_partition;
   ]
 
-let suite = suite @ warm_suite @ heuristic_suite
+(* --- sensitivity: what-if predictions vs re-solving ------------------ *)
+
+(* On random certified physical instances, a demand-scaling what-if
+   answered from the cached basis must quantise to the same wire figure
+   as a fresh certified re-solve of the scaled instance whenever the
+   factor lies inside the reported basis-stability range.  The factor
+   is drawn per flow as a point inside its own range, so the identity
+   is probed exactly where the engine promises it. *)
+let qcheck_whatif_matches_resolve =
+  QCheck.Test.make ~name:"in-range whatif_scale is wire-identical to a re-solve" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let model, paths = random_physical_instance seed in
+      match paths with
+      | [] | [ _ ] -> true (* need a probed path plus background *)
+      | path :: rest ->
+        let demand i = 0.25 +. (0.25 *. float_of_int (1 + ((seed + i) mod 3))) in
+        let background = List.mapi (fun i p -> Flow.make ~path:p ~demand_mbps:(demand i)) rest in
+        (match Column_gen.available_sens ~pricer:Column_gen.Exact model ~background ~path with
+         | None, _ | _, None -> true (* infeasible background: no view to test *)
+         | Some _, Some s ->
+           List.for_all
+             (fun k ->
+               let lo, hi = Column_gen.scale_ranging s k in
+               (* A point strictly inside the range, biased by the seed;
+                  [hi] can be infinite, so cap the upward probe. *)
+               let hi = Float.min hi 4.0 in
+               let frac = float_of_int ((seed / (k + 1)) mod 5) /. 5.0 in
+               let factor = lo +. (frac *. (hi -. lo)) in
+               let w = Column_gen.whatif_scale s k ~factor in
+               let scaled =
+                 List.mapi
+                   (fun i (f : Flow.t) ->
+                     if i <> k then f
+                     else Flow.make ~path:f.path ~demand_mbps:(f.demand_mbps *. factor))
+                   background
+               in
+               match
+                 Column_gen.available ~warm:false ~pricer:Column_gen.Exact model
+                   ~background:scaled ~path
+               with
+               | Some r ->
+                 w.Column_gen.w_feasible
+                 && Proto.mbps w.Column_gen.w_mbps = Proto.mbps r.Column_gen.bandwidth_mbps
+               | None -> not w.Column_gen.w_feasible)
+             (List.init (List.length background) Fun.id)))
+
+(* The dual view must be pure reads: interleaving what-ifs (including
+   repivoting ones) with prices must leave the warm master able to
+   answer the original query unchanged. *)
+let test_sensitivity_reads_are_pure () =
+  let model, paths = random_physical_instance 7 in
+  match paths with
+  | path :: (_ :: _ as rest) -> (
+    let background = List.map (fun p -> Flow.make ~path:p ~demand_mbps:0.5) rest in
+    match Column_gen.available_sens ~pricer:Column_gen.Exact model ~background ~path with
+    | Some r, Some s ->
+      let before = Proto.mbps r.Column_gen.bandwidth_mbps in
+      List.iter
+        (fun factor ->
+          List.iteri
+            (fun k _ -> ignore (Column_gen.whatif_scale s k ~factor))
+            background)
+        [ 0.0; 0.5; 1.0; 2.0; 10.0 ];
+      ignore (Column_gen.link_prices s);
+      ignore (Column_gen.throttle_ranking s);
+      (* Factor 1 is always in range and must reproduce the optimum. *)
+      let w = Column_gen.whatif_scale s 0 ~factor:1.0 in
+      check Alcotest.bool "factor 1 feasible" true w.Column_gen.w_feasible;
+      check (Alcotest.float 1e-9) "factor 1 reproduces the optimum" before
+        (Proto.mbps w.Column_gen.w_mbps)
+    | _ -> Alcotest.fail "instance should be feasible and certified")
+  | _ -> Alcotest.fail "instance should route several flows"
+
+let sensitivity_suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_whatif_matches_resolve;
+    Alcotest.test_case "sensitivity reads are pure" `Quick test_sensitivity_reads_are_pure;
+  ]
+
+let suite = suite @ warm_suite @ heuristic_suite @ sensitivity_suite

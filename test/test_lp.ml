@@ -831,4 +831,249 @@ let stabilisation_suite =
       cover_pivot_regression;
   ]
 
-let suite = suite @ parity_suite @ stabilisation_suite
+(* --- Sensitivity: duals, ranging, and basis-reuse predictions ------- *)
+
+(* max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6: optimum x=4, y=0, obj 12,
+   duals (3, 0).  The hand-checkable anchor for every sensitivity
+   entry point. *)
+let sens_anchor () =
+  let lp = Problem.create Types.Maximize in
+  let x = Problem.add_var lp ~obj:3.0 "x" in
+  let y = Problem.add_var lp ~obj:2.0 "y" in
+  Problem.add_constraint lp [ (x, 1.0); (y, 1.0) ] Types.Le 4.0;
+  Problem.add_constraint lp [ (x, 1.0); (y, 3.0) ] Types.Le 6.0;
+  match Problem.solve_warm lp with
+  | Problem.Solution s, Some w -> (lp, x, y, s, w)
+  | _ -> Alcotest.fail "sens anchor: expected optimal"
+
+let sens_duals_and_reduced_costs () =
+  let _, x, y, s, w = sens_anchor () in
+  let d = Problem.warm_duals w in
+  check float_tol "dual row 0" 3.0 d.(0);
+  check float_tol "dual row 1" 0.0 d.(1);
+  check float_tol "warm_duals = row_duals (0)" s.Problem.row_duals.(0) d.(0);
+  check float_tol "warm_duals = row_duals (1)" s.Problem.row_duals.(1) d.(1);
+  check float_tol "basic x has zero reduced cost" 0.0 (Problem.warm_reduced_cost w x);
+  (* z_y = y·a_y - c_y = (3·1 + 0·3) - 2 = 1. *)
+  check float_tol "nonbasic y prices at 1" 1.0 (Problem.warm_reduced_cost w y)
+
+let sens_rhs_ranging_and_predict () =
+  let _, _, _, _, w = sens_anchor () in
+  let dir = [ (0, 1.0) ] in
+  let lo, hi = Problem.rhs_ranging w ~dir in
+  (* b0 + t: x tracks it until row 1 binds at x = 6 (t = 2); shrinking
+     empties x at t = -4. *)
+  check float_tol "rhs range lo" (-4.0) lo;
+  check float_tol "rhs range hi" 2.0 hi;
+  (* Inside the range: linear in the dual, no pivots. *)
+  let p = Problem.predict_rhs_delta w ~dir ~t:1.0 in
+  Alcotest.(check bool) "in-range is pure basis reuse" false p.Problem.repivoted;
+  check float_tol "in-range objective" 15.0 (Problem.objective_exn p.Problem.predicted);
+  (* Outside: the dual-simplex fallback must find the true optimum
+     (b0 = 7 leaves row 1 binding: x = 6, obj 18). *)
+  let p = Problem.predict_rhs_delta w ~dir ~t:3.0 in
+  Alcotest.(check bool) "out-of-range repivots" true p.Problem.repivoted;
+  check float_tol "out-of-range objective" 18.0 (Problem.objective_exn p.Problem.predicted);
+  (* Prediction never mutates the warm state. *)
+  check float_tol "warm state rolled back" 12.0 (Problem.objective_exn (Problem.resolve w))
+
+let sens_obj_predict () =
+  let _, x, _, _, w = sens_anchor () in
+  (* In range: x stays basic at 4, the objective moves by 4δ. *)
+  let p = Problem.predict_obj_delta w x ~delta:(-0.5) in
+  Alcotest.(check bool) "in-range obj move reuses basis" false p.Problem.repivoted;
+  check float_tol "objective moves by x·delta" 10.0 (Problem.objective_exn p.Problem.predicted);
+  (match p.Problem.predicted with
+   | Problem.Solution s -> check float_tol "x unchanged in range" 4.0 (s.Problem.values x)
+   | _ -> Alcotest.fail "expected solution");
+  (* Far out of range (c_x = 0.5): the optimum flips to y = 2, obj 4. *)
+  let p = Problem.predict_obj_delta w x ~delta:(-2.5) in
+  Alcotest.(check bool) "out-of-range obj move repivots" true p.Problem.repivoted;
+  check float_tol "repivoted objective" 4.0 (Problem.objective_exn p.Problem.predicted);
+  check float_tol "warm state rolled back" 12.0 (Problem.objective_exn (Problem.resolve w))
+
+(* Random Eq.6-shaped cover masters at the Problem layer: m unit rows,
+   singleton seeds, then a chain of add_column/resolve appends — the
+   exact usage pattern of Column_gen's warm loop.  Every resolve's
+   duals must satisfy the conventions problem.mli documents, because
+   the whole sensitivity layer leans on them. *)
+type rand_master = {
+  rm_b : float array;
+  rm_cols : (Problem.var * (int * float) list) list;  (* in append order *)
+  rm_objs : float list;  (* objective coefficient per column, same order *)
+  rm_warm : Problem.warm;
+  rm_outcome : Problem.outcome;
+}
+
+let build_random_master seed =
+  let rng = Random.State.make [| seed; 0x5e45 |] in
+  let m = 4 + Random.State.int rng 5 in
+  let b = Array.init m (fun _ -> 0.5 +. Random.State.float rng 2.0) in
+  let lp = Problem.create Types.Maximize in
+  let singles =
+    List.init m (fun i -> (Problem.add_var lp ~obj:1.0 (Printf.sprintf "x%d" i), [ (i, 1.0) ]))
+  in
+  Array.iteri
+    (fun i bi ->
+      Problem.add_constraint lp
+        (List.filter_map (fun (v, t) -> if List.mem_assoc i t then Some (v, 1.0) else None) singles)
+        Types.Le bi)
+    b;
+  match Problem.solve_warm lp with
+  | outcome, Some w ->
+    let cols = ref (List.rev singles) and objs = ref (List.rev_map (fun _ -> 1.0) singles) in
+    let outcome = ref outcome in
+    let n_appends = 4 + Random.State.int rng 9 in
+    for _ = 1 to n_appends do
+      let r1 = Random.State.int rng m in
+      let r2 = (r1 + 1 + Random.State.int rng (m - 1)) mod m in
+      let r3 = (r2 + 1 + Random.State.int rng (m - 1)) mod m in
+      let terms =
+        List.sort_uniq compare [ r1; r2; r3 ]
+        |> List.map (fun i -> (i, 0.5 +. Random.State.float rng 1.5))
+      in
+      let obj = 1.5 +. Random.State.float rng 2.5 in
+      let v = Problem.add_column w ~obj terms in
+      cols := (v, terms) :: !cols;
+      objs := obj :: !objs;
+      outcome := Problem.resolve w
+    done;
+    {
+      rm_b = b;
+      rm_cols = List.rev !cols;
+      rm_objs = List.rev !objs;
+      rm_warm = w;
+      rm_outcome = !outcome;
+    }
+  | _ -> Alcotest.fail "random master: expected a warm state"
+
+let dual_conventions_hold rm =
+  match rm.rm_outcome with
+  | Problem.Unbounded | Problem.Infeasible -> false
+  | Problem.Solution s ->
+    let m = Array.length rm.rm_b in
+    let duals = Problem.warm_duals rm.rm_warm in
+    let tol = 1e-6 *. (1.0 +. Float.abs s.Problem.objective) in
+    (* Strong duality: Σ duals·b = objective (maximisation form,
+       zero constant term). *)
+    let yb = ref 0.0 in
+    Array.iteri (fun i bi -> yb := !yb +. (duals.(i) *. bi)) rm.rm_b;
+    Float.abs (!yb -. s.Problem.objective) <= tol
+    && Array.for_all2 Float.equal duals s.Problem.row_duals
+    (* Complementary slackness on rows: positive dual ⇒ tight row. *)
+    && (let activity = Array.make m 0.0 in
+        List.iter
+          (fun (v, terms) ->
+            let x = s.Problem.values v in
+            if x <> 0.0 then
+              List.iter (fun (i, a) -> activity.(i) <- activity.(i) +. (a *. x)) terms)
+          rm.rm_cols;
+        Array.for_all
+          (fun i ->
+            let slack = rm.rm_b.(i) -. activity.(i) in
+            duals.(i) >= -1e-7 && Float.abs (duals.(i) *. slack) <= 1e-6)
+          (Array.init m Fun.id))
+    (* Dual feasibility + complementary slackness on columns. *)
+    && List.for_all
+         (fun (v, _) ->
+           let rc = Problem.warm_reduced_cost rm.rm_warm v in
+           rc >= -1e-7 && Float.abs (rc *. s.Problem.values v) <= 1e-6)
+         rm.rm_cols
+
+let qcheck_dual_conventions =
+  QCheck.Test.make ~name:"strong duality + complementary slackness on random warm masters"
+    ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed -> dual_conventions_hold (build_random_master seed))
+
+(* Fresh cold solve of a random master with perturbed data, the oracle
+   for both prediction paths. *)
+let resolve_fresh rm ~db =
+  let lp = Problem.create Types.Maximize in
+  let fresh =
+    List.map2
+      (fun (_, terms) obj -> (Problem.add_var lp ~obj "c", terms))
+      rm.rm_cols rm.rm_objs
+  in
+  Array.iteri
+    (fun i bi ->
+      Problem.add_constraint lp
+        (List.filter_map
+           (fun (v, terms) ->
+             match List.assoc_opt i terms with Some a -> Some (v, a) | None -> None)
+           fresh)
+        Types.Le (bi +. db.(i)))
+    rm.rm_b;
+  Problem.solve lp
+
+let qcheck_predict_rhs_matches_resolve =
+  QCheck.Test.make
+    ~name:"predict_rhs_delta matches a fresh re-solve, inside and outside the range"
+    ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let rm = build_random_master seed in
+      match rm.rm_outcome with
+      | Problem.Unbounded | Problem.Infeasible -> false
+      | Problem.Solution s ->
+        let rng = Random.State.make [| seed; 0xd14 |] in
+        let m = Array.length rm.rm_b in
+        let r1 = Random.State.int rng m in
+        let r2 = (r1 + 1 + Random.State.int rng (m - 1)) mod m in
+        let dir = [ (r1, 1.0); (r2, -0.5) ] in
+        let lo, hi = Problem.rhs_ranging rm.rm_warm ~dir in
+        let agree t want_repivot =
+          let p = Problem.predict_rhs_delta rm.rm_warm ~dir ~t in
+          let db = Array.make m 0.0 in
+          List.iter (fun (i, d) -> db.(i) <- db.(i) +. (t *. d)) dir;
+          let fresh = resolve_fresh rm ~db in
+          (match want_repivot with
+           | Some expect when p.Problem.repivoted <> expect -> false
+           | _ -> true)
+          &&
+          match (p.Problem.predicted, fresh) with
+          | Problem.Infeasible, Problem.Infeasible -> true
+          | Problem.Solution ps, Problem.Solution fs ->
+            Float.abs (ps.Problem.objective -. fs.Problem.objective)
+            <= 1e-6 *. (1.0 +. Float.abs fs.Problem.objective)
+          | _ -> false
+        in
+        let inside =
+          (* A step strictly inside the stability interval must come
+             off the factorized basis, no pivots. *)
+          let t =
+            if Float.is_finite hi then 0.7 *. hi
+            else if Float.is_finite lo then 0.7 *. lo
+            else 0.0
+          in
+          agree t (Some false)
+        in
+        let outside =
+          (* Past the interval the dual-simplex fallback must still
+             land on the true optimum of the perturbed problem. *)
+          (not (Float.is_finite hi)) || agree ((2.0 *. hi) +. 1.0) None
+        in
+        let outside_down =
+          (not (Float.is_finite lo)) || agree ((2.0 *. lo) -. 1.0) None
+        in
+        (* And the warm master is untouched by all of the above. *)
+        let unchanged =
+          match Problem.resolve rm.rm_warm with
+          | Problem.Solution s' ->
+            Float.abs (s'.Problem.objective -. s.Problem.objective)
+            <= 1e-9 *. (1.0 +. Float.abs s.Problem.objective)
+          | _ -> false
+        in
+        inside && outside && outside_down && unchanged)
+
+let sensitivity_suite =
+  [
+    Alcotest.test_case "sensitivity: duals and reduced costs" `Quick sens_duals_and_reduced_costs;
+    Alcotest.test_case "sensitivity: rhs ranging and prediction" `Quick
+      sens_rhs_ranging_and_predict;
+    Alcotest.test_case "sensitivity: objective-coefficient prediction" `Quick sens_obj_predict;
+    QCheck_alcotest.to_alcotest qcheck_dual_conventions;
+    QCheck_alcotest.to_alcotest qcheck_predict_rhs_matches_resolve;
+  ]
+
+let suite = suite @ parity_suite @ stabilisation_suite @ sensitivity_suite

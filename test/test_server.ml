@@ -264,6 +264,147 @@ let qcheck_auto_session_equals_exact =
           (String.concat "\n" auto) (String.concat "\n" exact)
       else true)
 
+(* --- whatif / prices ------------------------------------------------- *)
+
+let whatif_parse () =
+  (match Protocol.parse_request {|{"op":"whatif","source":1,"target":2,"flow":0,"factor":1.5}|} with
+   | Ok (None, Protocol.Whatif { source = 1; target = 2; queries = [ (0, 1.5) ]; exact = false })
+     -> ()
+   | _ -> Alcotest.fail "single whatif parse");
+  (match
+     Protocol.parse_request
+       {|{"op":"whatif","source":1,"target":2,"queries":[{"flow":0,"factor":0.5},{"flow":3,"factor":2}],"exact":true}|}
+   with
+   | Ok (None, Protocol.Whatif { queries = [ (0, 0.5); (3, 2.0) ]; exact = true; _ }) -> ()
+   | _ -> Alcotest.fail "batched whatif parse");
+  (match Protocol.parse_request {|{"op":"whatif","source":1,"target":2,"flow":0,"factor":0}|} with
+   | Ok (None, Protocol.Whatif { queries = [ (0, 0.0) ]; _ }) -> ()
+   | _ -> Alcotest.fail "factor 0 (removal preview) parses");
+  (match Protocol.parse_request {|{"op":"prices","source":4,"target":5,"id":3}|} with
+   | Ok (Some 3, Protocol.Prices { source = 4; target = 5 }) -> ()
+   | _ -> Alcotest.fail "prices parse");
+  List.iter
+    (fun bad ->
+      match Protocol.parse_request bad with
+      | Ok _ -> Alcotest.failf "accepted %s" bad
+      | Error _ -> ())
+    [
+      {|{"op":"whatif","source":1,"target":2}|} (* neither form *);
+      {|{"op":"whatif","source":1,"target":2,"flow":0}|} (* missing factor *);
+      {|{"op":"whatif","source":1,"target":2,"flow":0,"factor":-1}|};
+      {|{"op":"whatif","source":1,"target":2,"flow":0,"factor":1,"queries":[]}|} (* both forms *);
+      {|{"op":"whatif","source":1,"target":2,"queries":[]}|};
+      {|{"op":"whatif","source":1,"target":2,"queries":[{"flow":0}]}|};
+      {|{"op":"whatif","source":1,"target":2,"flow":0,"factor":1,"exact":1}|};
+      {|{"op":"prices","source":1}|};
+    ]
+
+let results_of line =
+  match Json.parse line with
+  | Ok v -> (
+    match Option.bind (Json.member "results" v) Json.to_list with
+    | Some l -> List.map Json.to_string l
+    | None -> Alcotest.failf "no results array in %s" line)
+  | Error msg -> Alcotest.failf "bad response %s: %s" line msg
+
+(* A batched whatif request must answer exactly as the same queries
+   sent one per line: each query is independent (always scaled relative
+   to the live set), so the per-result objects are byte-identical. *)
+let whatif_batched_equals_sequential () =
+  let s = make_session Session.Warm 7L in
+  let seq = ref 0 in
+  let send line =
+    incr seq;
+    fst (Session.handle_line s ~seq:!seq line)
+  in
+  let admitted =
+    List.filter_map
+      (fun (src, tgt) ->
+        let r =
+          send
+            (Printf.sprintf {|{"op":"admit","source":%d,"target":%d,"demand_mbps":0.25}|} src
+               tgt)
+        in
+        match Json.parse r with
+        | Ok v when Json.member "admitted" v = Some (Json.Bool true) ->
+          Option.bind (Json.member "flow" v) Json.to_int
+        | _ -> None)
+      [ (0, 1); (2, 3); (4, 5); (6, 7) ]
+  in
+  check Alcotest.bool "enough background admitted" true (List.length admitted >= 2);
+  let queries = List.concat_map (fun fid -> [ (fid, 0.5); (fid, 1.0); (fid, 2.0) ]) admitted in
+  let query_json (f, x) = Printf.sprintf {|{"flow":%d,"factor":%g}|} f x in
+  let batched =
+    send
+      (Printf.sprintf {|{"op":"whatif","source":0,"target":1,"queries":[%s]}|}
+         (String.concat "," (List.map query_json queries)))
+  in
+  let sequential =
+    List.concat_map
+      (fun (f, x) ->
+        results_of
+          (send
+             (Printf.sprintf {|{"op":"whatif","source":0,"target":1,"flow":%d,"factor":%g}|} f
+                x)))
+      queries
+  in
+  check (Alcotest.list Alcotest.string) "batched results = sequential results" sequential
+    (results_of batched);
+  (* Factor 1 is the identity scaling: predicted availability must be
+     the base figure, and exact mode must agree with the prediction. *)
+  let f0 = List.hd admitted in
+  let at_factor_1 exact =
+    let line =
+      send
+        (Printf.sprintf {|{"op":"whatif","source":0,"target":1,"flow":%d,"factor":1%s}|} f0
+           (if exact then {|,"exact":true|} else ""))
+    in
+    let v = Result.get_ok (Json.parse line) in
+    let base = Option.bind (Json.member "base_mbps" v) Json.to_float in
+    let avail =
+      match Option.bind (Json.member "results" v) Json.to_list with
+      | Some [ r ] -> Option.bind (Json.member "available_mbps" r) Json.to_float
+      | _ -> None
+    in
+    (base, avail)
+  in
+  let base_p, avail_p = at_factor_1 false in
+  let base_e, avail_e = at_factor_1 true in
+  check Alcotest.bool "factor 1 predicts the base figure" true
+    (base_p <> None && base_p = avail_p);
+  check Alcotest.bool "exact factor 1 agrees" true (base_p = base_e && avail_p = avail_e);
+  (* Unknown flow ids draw a protocol error, not a response. *)
+  let err = send {|{"op":"whatif","source":0,"target":1,"flow":999,"factor":1}|} in
+  check Alcotest.bool "unknown flow errors" true
+    (match Json.parse err with
+     | Ok v -> Json.member "ok" v = Some (Json.Bool false)
+     | Error _ -> false)
+
+let prices_respond () =
+  let s = make_session Session.Warm 7L in
+  let seq = ref 0 in
+  let send line =
+    incr seq;
+    fst (Session.handle_line s ~seq:!seq line)
+  in
+  let _ = send {|{"op":"admit","source":0,"target":1,"demand_mbps":0.25}|} in
+  let _ = send {|{"op":"admit","source":2,"target":3,"demand_mbps":0.25}|} in
+  let line = send {|{"op":"prices","source":0,"target":1}|} in
+  let v = Result.get_ok (Json.parse line) in
+  check Alcotest.bool "prices ok" true (Json.member "ok" v = Some (Json.Bool true));
+  let path_len =
+    match Option.bind (Json.member "path" v) Json.to_list with
+    | Some l -> List.length l
+    | None -> Alcotest.failf "prices without a path: %s" line
+  in
+  (match Option.bind (Json.member "link_prices" v) Json.to_list with
+   | Some l -> check Alcotest.int "one price per path link" path_len (List.length l)
+   | None -> Alcotest.failf "no link_prices in %s" line);
+  (match Option.bind (Json.member "throttle" v) Json.to_list with
+   | Some l -> check Alcotest.int "one ranking entry per live flow" 2 (List.length l)
+   | None -> Alcotest.failf "no throttle in %s" line);
+  check Alcotest.bool "sigma present" true (Json.member "sigma_mbps" v <> None)
+
 let suite =
   [
     Alcotest.test_case "json round-trips" `Quick json_roundtrip;
@@ -276,4 +417,7 @@ let suite =
     Alcotest.test_case "admission traces deterministic" `Quick trace_deterministic;
     QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
     QCheck_alcotest.to_alcotest qcheck_auto_session_equals_exact;
+    Alcotest.test_case "whatif/prices parsing" `Quick whatif_parse;
+    Alcotest.test_case "batched whatif = sequential" `Quick whatif_batched_equals_sequential;
+    Alcotest.test_case "prices respond" `Quick prices_respond;
   ]
